@@ -1,0 +1,97 @@
+"""Ablation benchmarks: what each reduction actually buys.
+
+The paper's scalability argument is that property-preserving reductions
+make model checking tractable.  These benchmarks time the *same*
+property on the unreduced and reduced models so the speedup (and the
+unchanged answer) is measured rather than asserted.
+"""
+
+import pytest
+
+from repro.mimo import MimoSystemConfig, build_detector_model
+from repro.pctl import check
+from repro.viterbi import (
+    ViterbiModelConfig,
+    build_full_model,
+    build_reduced_model,
+)
+
+VITERBI = ViterbiModelConfig(traceback_length=5)
+DETECTOR = MimoSystemConfig(num_rx=2, snr_db=8.0)
+
+
+def check_p2_on(build):
+    result = build()
+    return result.num_states, check(result.chain, "R=? [ I=100 ]").value
+
+
+def test_bench_viterbi_full_model(benchmark):
+    states, value = benchmark.pedantic(
+        lambda: check_p2_on(lambda: build_full_model(VITERBI)),
+        rounds=1,
+        iterations=1,
+    )
+    test_bench_viterbi_full_model.result = (states, value)
+    assert states > 0
+
+
+def test_bench_viterbi_reduced_model(benchmark):
+    states, value = benchmark.pedantic(
+        lambda: check_p2_on(lambda: build_reduced_model(VITERBI)),
+        rounds=1,
+        iterations=1,
+    )
+    # The ablation's point: same P2, far fewer states.
+    full_states, full_value = getattr(
+        test_bench_viterbi_full_model, "result", (None, None)
+    )
+    if full_states is not None:
+        assert states < full_states
+        assert value == pytest.approx(full_value, abs=1e-10)
+
+
+def test_bench_detector_unreduced(benchmark):
+    states, value = benchmark.pedantic(
+        lambda: check_p2_on(
+            lambda: build_detector_model(DETECTOR, reduced=False)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    test_bench_detector_unreduced.result = (states, value)
+    assert states > 0
+
+
+def test_bench_detector_symmetry_reduced(benchmark):
+    states, value = benchmark.pedantic(
+        lambda: check_p2_on(
+            lambda: build_detector_model(DETECTOR, reduced=True)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    full_states, full_value = getattr(
+        test_bench_detector_unreduced, "result", (None, None)
+    )
+    if full_states is not None:
+        assert states < full_states / 5
+        assert value == pytest.approx(full_value, abs=1e-10)
+
+
+def test_bench_detector_cutoff_ablation(benchmark):
+    """PRISM-style 1e-15 pruning: smaller model, unchanged BER."""
+
+    def build_both():
+        pruned = build_detector_model(
+            MimoSystemConfig(num_rx=4, snr_db=12.0), branch_cutoff=1e-15
+        )
+        unpruned = build_detector_model(
+            MimoSystemConfig(num_rx=4, snr_db=12.0)
+        )
+        return pruned, unpruned
+
+    pruned, unpruned = benchmark.pedantic(build_both, rounds=1, iterations=1)
+    assert pruned.num_states <= unpruned.num_states
+    ber_pruned = check(pruned.chain, "S=? [ flag ]").value
+    ber_unpruned = check(unpruned.chain, "S=? [ flag ]").value
+    assert ber_pruned == pytest.approx(ber_unpruned, abs=1e-8)

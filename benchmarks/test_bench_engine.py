@@ -1,0 +1,67 @@
+"""Micro-benchmarks of the verification engine itself.
+
+Not a paper table: these measure the substrate operations the
+experiment drivers are built from (state-space exploration, transient
+solve, steady state, lumping, symbolic cross-check), so regressions in
+the engine show up independently of the case studies.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.reductions import lump
+from repro.dtmc import (
+    build_dtmc,
+    distribution_at,
+    stationary_distribution,
+)
+from repro.pctl import check
+from repro.symbolic import SymbolicEngine
+from repro.viterbi import ViterbiModelConfig, build_reduced_model
+
+
+@pytest.fixture(scope="module")
+def viterbi_chain():
+    return build_reduced_model(ViterbiModelConfig()).chain
+
+
+def test_bench_state_space_exploration(benchmark):
+    config = ViterbiModelConfig(traceback_length=5)
+    result = benchmark(lambda: build_reduced_model(config))
+    assert result.num_states > 500
+
+
+def test_bench_transient_distribution(benchmark, viterbi_chain):
+    pi = benchmark(lambda: distribution_at(viterbi_chain, 300))
+    assert pi.sum() == pytest.approx(1.0)
+
+
+def test_bench_bounded_property(benchmark, viterbi_chain):
+    value = benchmark(
+        lambda: check(viterbi_chain, "P=? [ G<=300 !flag ]").value
+    )
+    assert 0 <= value <= 1
+
+
+def test_bench_steady_state(benchmark, viterbi_chain):
+    pi = benchmark(lambda: stationary_distribution(viterbi_chain))
+    assert pi.sum() == pytest.approx(1.0)
+
+
+def test_bench_lumping(benchmark, viterbi_chain):
+    result = benchmark.pedantic(
+        lambda: lump(viterbi_chain, respect=["flag"]), rounds=1, iterations=1
+    )
+    assert result.num_blocks <= viterbi_chain.num_states
+
+
+def test_bench_symbolic_cross_check(benchmark):
+    config = ViterbiModelConfig(traceback_length=3, num_levels=3, pm_max=3)
+    chain = build_reduced_model(config).chain
+
+    def symbolic_p2():
+        return SymbolicEngine(chain).instantaneous_reward("flag", 30)
+
+    symbolic = benchmark.pedantic(symbolic_p2, rounds=1, iterations=1)
+    sparse = check(chain, "R=? [ I=30 ]").value
+    assert symbolic == pytest.approx(sparse, abs=1e-12)

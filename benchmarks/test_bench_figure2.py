@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 2 (C1 as a function of L).
+
+Asserts the plot's shape: strictly decreasing in L, with the absolute
+per-step change collapsing past L ~= 5m (the paper's "stabilizes").
+"""
+
+import pytest
+
+from repro.experiments import figure2
+
+
+def run_figure2():
+    return figure2.run(lengths=(2, 3, 4, 5, 6, 7, 8), snr_db=8.0)
+
+
+def test_bench_figure2(benchmark):
+    result = benchmark.pedantic(run_figure2, rounds=1, iterations=1)
+
+    assert result.is_decreasing
+
+    changes = result.marginal_changes()
+    # Early steps move C1 by much more than late steps (linear-scale
+    # stabilization): the per-step change collapses monotonically and
+    # by an order of magnitude across the sweep.
+    assert all(a > b for a, b in zip(changes, changes[1:]))
+    assert changes[-1] < changes[0] / 10

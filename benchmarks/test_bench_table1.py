@@ -1,0 +1,42 @@
+"""Benchmark: regenerate Table I (Viterbi error properties P1/P2/P3).
+
+Runs the full experiment driver at the quick scale and asserts the
+paper's shape claims: substantial reduction factor, exact agreement
+between M and M_R, and P1 ~ 0 << P2 << P3 ~ 1 at 5 dB.
+"""
+
+import pytest
+
+from repro.experiments import table1
+from repro.viterbi import ViterbiModelConfig
+
+QUICK = ViterbiModelConfig(traceback_length=4, num_levels=5)
+
+
+def run_table1():
+    return table1.run(QUICK, horizon=300)
+
+
+def test_bench_table1(benchmark):
+    rows = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+
+    by_name = {row.name: row for row in rows}
+    assert set(by_name) == {"P1", "P2", "P3"}
+
+    # Reduction shrinks every model substantially.
+    for row in rows:
+        assert row.states_reduced < row.states_full
+        assert row.states_full / row.states_reduced > 2
+
+    # Soundness: M and M_R agree exactly on every property.
+    assert all(row.values_agree for row in rows)
+
+    # Table I value shape at 5 dB.
+    assert by_name["P1"].value_reduced < 1e-3
+    assert 1e-3 < by_name["P2"].value_reduced < 0.5
+    assert by_name["P3"].value_reduced > 0.99
+    assert (
+        by_name["P1"].value_reduced
+        < by_name["P2"].value_reduced
+        < by_name["P3"].value_reduced
+    )

@@ -1,0 +1,43 @@
+"""Benchmark: regenerate Table II (symmetry reduction of the detector).
+
+Asserts the paper's scaling shape: the 1x4 reduction factor is an
+order of magnitude (or more) beyond the 1x2 factor, and the counted
+full-model sizes match the built models where those exist.
+"""
+
+import pytest
+
+from repro.experiments import table2
+from repro.mimo import MimoSystemConfig, full_state_count, reduced_state_count
+
+
+def run_table2():
+    return table2.run()
+
+
+def test_bench_table2(benchmark):
+    rows = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    by_name = {row.system: row for row in rows}
+    assert set(by_name) == {"1x2", "1x4"}
+
+    assert by_name["1x2"].full_was_built  # verified against the quotient
+    assert by_name["1x2"].reduction_factor > 5
+    assert by_name["1x4"].reduction_factor > 10 * by_name["1x2"].reduction_factor
+
+
+def test_bench_table2_counts_are_exact(benchmark):
+    """The analytic counts equal the built state spaces (no cutoff)."""
+
+    def build_and_count():
+        from repro.mimo import build_detector_model
+
+        config = MimoSystemConfig(num_rx=2, snr_db=8.0)
+        full = build_detector_model(config, reduced=False)
+        reduced = build_detector_model(config, reduced=True)
+        return config, full.num_states, reduced.num_states
+
+    config, full_states, reduced_states = benchmark.pedantic(
+        build_and_count, rounds=1, iterations=1
+    )
+    assert full_states == full_state_count(config)
+    assert reduced_states == reduced_state_count(config)

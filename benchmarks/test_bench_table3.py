@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Table III (P2 vs T for the Viterbi decoder).
+
+Asserts the convergence shape: values stabilize for T >> RI and the
+limit equals the steady-state BER.
+"""
+
+import pytest
+
+from repro.experiments import table3
+from repro.viterbi import ViterbiModelConfig
+
+
+def run_table3():
+    return table3.run(ViterbiModelConfig(), horizons=(100, 300, 600, 1000))
+
+
+def test_bench_table3(benchmark):
+    result = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+
+    assert result.is_converged
+    # The stable value is the steady-state BER (paper: "once steady
+    # state is attained, we consider P2 as the BER of the system").
+    assert result.values[-1] == pytest.approx(result.steady_state, rel=1e-6)
+    # Values never move by more than round-off after the fixpoint: RI
+    # is tiny compared with every horizon checked.
+    assert result.reachability_iterations < min(result.horizons)
+    # Monotone approach to the limit (from below or above).
+    diffs = [
+        abs(v - result.steady_state) for v in result.values
+    ]
+    assert diffs[0] >= diffs[-1] - 1e-15

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Table IV (C1 vs T, Viterbi convergence).
+
+Paper setting L=8 at 8 dB.  Asserts: C1 is stable across the paper's
+horizons, is a small probability (order 1e-3 at the paper's setting),
+and the convergence model is far smaller than the error models.
+"""
+
+import pytest
+
+from repro.experiments import table4
+from repro.viterbi import ViterbiModelConfig, build_reduced_model
+
+
+def run_table4():
+    return table4.run(horizons=(100, 400, 1000))
+
+
+def test_bench_table4(benchmark):
+    result = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+
+    assert result.is_converged
+    assert result.values[-1] == pytest.approx(result.steady_state, rel=1e-6)
+    assert 0 < result.steady_state < 0.1
+
+    # The reduction for the convergence property discards all per-stage
+    # variables: the model must be *much* smaller than the error model
+    # at the same parameters.
+    error_model_states = build_reduced_model(
+        table4.default_config()
+    ).num_states
+    assert result.states < error_model_states / 10

@@ -1,0 +1,47 @@
+"""Benchmark: regenerate Table V (detector BER vs T + simulation duel).
+
+Asserts the paper's two claims: (a) BER figures are flat in T (the
+detector chain reaches steady state immediately, paper RI=3) with the
+1x4 BER orders below the 1x2 BER; (b) a short Monte-Carlo run sees zero
+errors on the high-diversity system while model checking resolves its
+BER, and a long run on the low-diversity system agrees with the model.
+"""
+
+import pytest
+
+from repro.experiments import table5
+from repro.sim import rule_of_three_upper_bound
+
+
+def run_table5():
+    return table5.run(
+        horizons=(5, 10, 20),
+        short_sim_steps=100_000,
+        long_sim_steps=1_000_000,
+        with_simulation=True,
+    )
+
+
+def test_bench_table5(benchmark):
+    result = benchmark.pedantic(run_table5, rounds=1, iterations=1)
+    by_name = {row.system: row for row in result.rows}
+
+    # Flat in T.
+    for row in result.rows:
+        assert row.values[0] == pytest.approx(row.values[-1], rel=1e-9)
+
+    # Diversity gap: 1x4 BER orders below 1x2.
+    assert by_name["1x4"].values[-1] < by_name["1x2"].values[-1] / 100
+
+    # (b1) Short simulation resolves nothing at high diversity...
+    assert result.short_sim.errors == 0
+    assert result.model_ber_high_diversity < rule_of_three_upper_bound(
+        result.short_sim.trials
+    )
+    # ...while model checking still pins the BER to a positive value.
+    assert result.model_ber_high_diversity > 0
+
+    # (b2) Long simulation agrees with the model on the 1x2 system.
+    model_1x2 = by_name["1x2"].values[-1]
+    low, high = result.long_sim.interval
+    assert low * 0.5 <= model_1x2 <= high * 1.5

@@ -1,0 +1,108 @@
+"""Case study B: ML MIMO detector BER with symmetry reduction.
+
+Walks through the paper's Section IV-B on real numbers:
+
+1. the symmetry argument, checked mechanically (block swap is an
+   automorphism of the explicitly-built 1x2 model);
+2. on-the-fly symmetry reduction: state counts and reduction factors
+   for 1x2 and 1x4 (Table II's experiment);
+3. exact BER per detector via ``S=? [flag]`` (Table V's experiment);
+4. the simulation comparison: what Monte-Carlo can and cannot resolve
+   at a 100k-step budget, including the unquantized (true-channel)
+   reference and the closed-form diversity curve.
+
+Run:  python examples/mimo_detector_ber.py
+"""
+
+from repro.comm import bpsk_diversity_ber
+from repro.core.reductions import verify_permutation_invariance
+from repro.mimo import (
+    MimoState,
+    MimoSystemConfig,
+    build_detector_model,
+    full_state_count,
+    reduced_state_count,
+)
+from repro.pctl import check
+from repro.sim import (
+    rule_of_three_upper_bound,
+    simulate_detector_ber,
+    simulate_detector_ber_true_channel,
+)
+
+
+def verify_symmetry():
+    """Mechanically re-check the paper's interchange argument."""
+    config = MimoSystemConfig(num_rx=2, snr_db=8.0, num_y_levels=2)
+    full = build_detector_model(config, reduced=False)
+
+    def swap_first_two_blocks(state):
+        blocks = list(state.blocks)
+        blocks[0], blocks[1] = blocks[1], blocks[0]
+        return MimoState(state.x, tuple(blocks))
+
+    ok = verify_permutation_invariance(full.chain, swap_first_two_blocks)
+    print(f"block interchange is an automorphism of M: {ok}")
+
+
+def reduction_table():
+    print("\nsymmetry reduction (Table II experiment):")
+    print("  system | states M  | states M_R | factor")
+    print("  -------+-----------+------------+-------")
+    for name, config in [
+        ("1x2", MimoSystemConfig(num_rx=2, snr_db=8.0)),
+        ("1x4", MimoSystemConfig(num_rx=4, snr_db=12.0)),
+    ]:
+        reduced = build_detector_model(config, reduced=True)
+        full_states = full_state_count(config)
+        print(
+            f"  {name}    | {full_states:9d} | {reduced.num_states:10d} |"
+            f" {full_states / reduced.num_states:6.0f}"
+        )
+
+
+def exact_ber():
+    print("\nexact BER by model checking (Table V experiment):")
+    results = {}
+    for name, config in [
+        ("1x2 @  8 dB", MimoSystemConfig(num_rx=2, snr_db=8.0)),
+        ("1x4 @ 12 dB", MimoSystemConfig(num_rx=4, snr_db=12.0)),
+    ]:
+        chain = build_detector_model(config).chain
+        ber = check(chain, "S=? [ flag ]").value
+        results[name] = (config, ber)
+        print(f"  {name}: BER = {ber:.3e}")
+    return results
+
+
+def simulation_comparison(results):
+    print("\nsimulation vs model checking (100k-step budget):")
+    for name, (config, model_ber) in results.items():
+        quantized = simulate_detector_ber(config, num_steps=100_000, seed=11)
+        true_channel = simulate_detector_ber_true_channel(
+            config, num_steps=100_000, seed=12
+        )
+        theory = bpsk_diversity_ber(config.snr_db, config.num_rx)
+        print(f"  {name}:")
+        print(f"    model checking (exact)     : {model_ber:.3e}")
+        if quantized.errors == 0:
+            bound = rule_of_three_upper_bound(quantized.trials)
+            print(
+                "    quantized-datapath sim     : 0 errors -> only"
+                f" 'BER < {bound:.1e}' can be concluded"
+            )
+        else:
+            print(f"    quantized-datapath sim     : {quantized}")
+        print(f"    unquantized ML sim         : {true_channel}")
+        print(f"    closed-form MRC reference  : {theory:.3e}")
+
+
+def main():
+    verify_symmetry()
+    reduction_table()
+    results = exact_ber()
+    simulation_comparison(results)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The project is configured in ``pyproject.toml``; this file exists so
+that editable installs work on environments whose setuptools predates
+full PEP 660 support (no ``wheel`` package available offline).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""repro — Statistical guarantees of performance for MIMO designs.
+
+A from-scratch reproduction of Kumar & Vasudevan (DSN 2010):
+probabilistic model checking of MIMO RTL designs.  RTL blocks with
+quantization and channel noise become discrete-time Markov chains;
+BER-like metrics become pCTL properties; property-preserving reductions
+(lumping, bisimulation, symmetry) keep the state spaces tractable; and
+an explicit-state model checker — cross-checked by a from-scratch
+BDD/MTBDD symbolic engine — returns exact answers where Monte-Carlo
+simulation only returns estimates.
+
+Quick start::
+
+    from repro import PerformanceAnalyzer
+
+    analyzer = PerformanceAnalyzer.for_viterbi()
+    print(analyzer.best_case(300))    # P1:  P=? [ G<=300 !flag ]
+    print(analyzer.average_case(300)) # P2:  R=? [ I=300 ]
+    print(analyzer.ber())             # BER: S=? [ flag ]
+
+Subpackages
+-----------
+``repro.core``     — metrics, analyzer, verified reductions
+``repro.dtmc``     — explicit-state DTMC engine + builder
+``repro.pctl``     — pCTL syntax, parser, model checker
+``repro.prog``     — guarded-command modeling language
+``repro.symbolic`` — BDD/MTBDD engine (PRISM-style substrate)
+``repro.comm``     — modulation, channels, quantizers, BER theory
+``repro.viterbi``  — Viterbi decoder case study (Sections IV-A/C)
+``repro.mimo``     — MIMO ML detector case study (Section IV-B)
+``repro.sim``      — Monte-Carlo baseline with confidence intervals
+``repro.smc``      — statistical model checking (Hoeffding, SPRT)
+"""
+
+from .core import Guarantee, PerformanceAnalyzer
+from .dtmc import DTMC, build_dtmc, build_iid_dtmc, dtmc_from_dict
+from .pctl import check, parse_formula
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Guarantee",
+    "PerformanceAnalyzer",
+    "DTMC",
+    "build_dtmc",
+    "build_iid_dtmc",
+    "dtmc_from_dict",
+    "check",
+    "parse_formula",
+    "__version__",
+]

@@ -1,0 +1,51 @@
+"""Communication-systems substrate.
+
+Modulation, channels, quantization, SNR conventions, convolutional
+encoding, and closed-form BER references — everything the paper's MIMO
+RTL case studies assume from the physical layer.
+"""
+
+from .channel import (
+    AWGNChannel,
+    PartialResponseTransmitter,
+    RayleighFadingChannel,
+    rayleigh_quantized_distribution,
+)
+from .convolutional import ConvolutionalEncoder
+from .modulation import BPSK, QPSK
+from .quantizer import UniformQuantizer
+from .snr import (
+    db_to_linear,
+    linear_to_db,
+    noise_sigma,
+    noise_variance,
+    sigma_to_snr_db,
+)
+from .theory import (
+    bpsk_awgn_ber,
+    bpsk_diversity_ber,
+    bpsk_rayleigh_ber,
+    q_function,
+    q_function_inverse,
+)
+
+__all__ = [
+    "AWGNChannel",
+    "PartialResponseTransmitter",
+    "RayleighFadingChannel",
+    "rayleigh_quantized_distribution",
+    "ConvolutionalEncoder",
+    "BPSK",
+    "QPSK",
+    "UniformQuantizer",
+    "db_to_linear",
+    "linear_to_db",
+    "noise_sigma",
+    "noise_variance",
+    "sigma_to_snr_db",
+    "bpsk_awgn_ber",
+    "bpsk_diversity_ber",
+    "bpsk_rayleigh_ber",
+    "q_function",
+    "q_function_inverse",
+]

@@ -1,0 +1,202 @@
+"""Channel models: AWGN, Rayleigh flat fading, and ISI transmitters.
+
+These are the stochastic substrates of both case studies:
+
+* the Viterbi decoder observes a memory-1 **partial-response (ISI)**
+  signal through **AWGN** (Section IV-A);
+* the MIMO detector observes ``y = Hx + n`` with a **flat-fading
+  Rayleigh** channel matrix ``H`` and complex AWGN ``n`` (Section IV-B,
+  Eq. 1).
+
+Each channel offers both a *sampling* interface (used by the
+Monte-Carlo baseline) and, where meaningful, an *exact distribution*
+interface (used to label DTMC transitions).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "AWGNChannel",
+    "RayleighFadingChannel",
+    "PartialResponseTransmitter",
+    "rayleigh_quantized_distribution",
+]
+
+
+class AWGNChannel:
+    """Additive white Gaussian noise with per-real-dimension ``sigma``.
+
+    ``complex_valued=True`` adds circularly-symmetric complex noise
+    (independent N(0, sigma^2) on each of the real and imaginary
+    parts), matching the convention in :mod:`repro.comm.snr`.
+    """
+
+    def __init__(
+        self,
+        sigma: float,
+        complex_valued: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {sigma}")
+        self.sigma = float(sigma)
+        self.complex_valued = bool(complex_valued)
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def __call__(self, symbols: Sequence[float]) -> np.ndarray:
+        """Transmit ``symbols`` through the channel (adds fresh noise)."""
+        symbols = np.asarray(symbols)
+        if self.complex_valued:
+            noise = self.rng.normal(0.0, self.sigma, symbols.shape) + 1j * (
+                self.rng.normal(0.0, self.sigma, symbols.shape)
+            )
+        else:
+            noise = self.rng.normal(0.0, self.sigma, symbols.shape)
+        return symbols + noise
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "complex" if self.complex_valued else "real"
+        return f"AWGNChannel(sigma={self.sigma}, {kind})"
+
+
+class RayleighFadingChannel:
+    """Flat-fading Rayleigh MIMO channel: ``y = H x + n``.
+
+    Entries of ``H`` are i.i.d. ``CN(0, 1)`` (real and imaginary parts
+    ``N(0, 1/2)``), so each entry's magnitude is Rayleigh-distributed
+    with ``E|h|^2 = 1`` — the normalization the closed-form diversity
+    BER in :mod:`repro.comm.theory` assumes.
+    """
+
+    def __init__(
+        self,
+        num_rx: int,
+        num_tx: int,
+        noise_sigma: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if num_rx < 1 or num_tx < 1:
+            raise ValueError("antenna counts must be >= 1")
+        self.num_rx = int(num_rx)
+        self.num_tx = int(num_tx)
+        self.noise_sigma = float(noise_sigma)
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def sample_h(self) -> np.ndarray:
+        """One channel realization: ``num_rx x num_tx`` complex matrix."""
+        scale = math.sqrt(0.5)
+        return self.rng.normal(0.0, scale, (self.num_rx, self.num_tx)) + 1j * (
+            self.rng.normal(0.0, scale, (self.num_rx, self.num_tx))
+        )
+
+    def transmit(self, x: Sequence[complex], h: Optional[np.ndarray] = None
+                 ) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(y, h)`` for one channel use (fresh ``h`` if not given)."""
+        x = np.asarray(x)
+        if x.shape != (self.num_tx,):
+            raise ValueError(f"x must have shape ({self.num_tx},), got {x.shape}")
+        if h is None:
+            h = self.sample_h()
+        noise = self.rng.normal(0.0, self.noise_sigma, self.num_rx) + 1j * (
+            self.rng.normal(0.0, self.noise_sigma, self.num_rx)
+        )
+        return h @ x + noise, h
+
+    def transmit_block(
+        self, x_block: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized transmission of ``n`` uses: ``x_block`` is (n, num_tx).
+
+        A fresh ``H`` is drawn for every use (fast-fading assumption,
+        matching the DTMC models where ``H`` is re-drawn each step).
+        Returns ``(y_block, h_block)`` with shapes (n, num_rx) and
+        (n, num_rx, num_tx).
+        """
+        x_block = np.asarray(x_block)
+        n = x_block.shape[0]
+        scale = math.sqrt(0.5)
+        h_block = self.rng.normal(0.0, scale, (n, self.num_rx, self.num_tx)) + 1j * (
+            self.rng.normal(0.0, scale, (n, self.num_rx, self.num_tx))
+        )
+        noise = self.rng.normal(0.0, self.noise_sigma, (n, self.num_rx)) + 1j * (
+            self.rng.normal(0.0, self.noise_sigma, (n, self.num_rx))
+        )
+        y_block = np.einsum("nij,nj->ni", h_block, x_block) + noise
+        return y_block, h_block
+
+
+class PartialResponseTransmitter:
+    """Memory-``m`` partial-response transmitter (the paper's ISI model).
+
+    The transmitted sample at step ``n`` is the tap-weighted sum of the
+    current and previous *modulated* bits::
+
+        t[n] = sum_k taps[k] * bpsk(x[n-k])
+
+    The paper's case study is ``taps = (1, 1)`` (duobinary, memory 1):
+    the output alphabet is ``{-2, 0, +2}``.
+    """
+
+    def __init__(self, taps: Sequence[float] = (1.0, 1.0)) -> None:
+        if len(taps) < 1:
+            raise ValueError("need at least one tap")
+        self.taps = tuple(float(t) for t in taps)
+
+    @property
+    def memory(self) -> int:
+        """Channel memory ``m`` (number of past bits involved)."""
+        return len(self.taps) - 1
+
+    def output(self, current_and_past_bits: Sequence[int]) -> float:
+        """Noiseless output for ``(x[n], x[n-1], ..., x[n-m])``.
+
+        Bits are mapped through BPSK (0 -> -1, 1 -> +1).
+        """
+        bits = list(current_and_past_bits)
+        if len(bits) != len(self.taps):
+            raise ValueError(
+                f"expected {len(self.taps)} bits (current + memory), got {len(bits)}"
+            )
+        return sum(
+            tap * (2 * bit - 1) for tap, bit in zip(self.taps, bits)
+        )
+
+    def alphabet(self) -> List[float]:
+        """All possible noiseless outputs, sorted ascending."""
+        import itertools
+
+        outputs = {
+            self.output(bits)
+            for bits in itertools.product((0, 1), repeat=len(self.taps))
+        }
+        return sorted(outputs)
+
+    def transmit_sequence(self, bits: Sequence[int], initial: int = 0) -> np.ndarray:
+        """Noiseless output sequence for a bit stream (past bits start at
+        ``initial``)."""
+        bits = np.asarray(bits, dtype=np.int64)
+        padded = np.concatenate([np.full(self.memory, initial, dtype=np.int64), bits])
+        symbols = 2.0 * padded - 1.0
+        taps = np.asarray(self.taps)
+        out = np.convolve(symbols, taps, mode="full")[
+            self.memory : self.memory + bits.size
+        ]
+        return out
+
+
+def rayleigh_quantized_distribution(
+    quantizer, per_dimension_sigma: float = math.sqrt(0.5)
+) -> list:
+    """Distribution of one *real dimension* of a CN(0,1) fading entry
+    over the given quantizer's levels.
+
+    The real (or imaginary) part of a normalized Rayleigh-fading
+    coefficient is ``N(0, 1/2)``; discretizing it through the
+    quantizer yields the finite fading alphabet the detector DTMC uses.
+    """
+    return quantizer.output_distribution(0.0, per_dimension_sigma)

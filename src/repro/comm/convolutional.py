@@ -1,0 +1,90 @@
+"""Binary convolutional encoders.
+
+The paper's transmitter ("output at time step n is obtained by adding
+the data bit from the current time step with the data bit from the
+previous time step") is the rate-1 partial-response system implemented
+in :class:`repro.comm.channel.PartialResponseTransmitter`.  This module
+provides the general feed-forward binary convolutional encoder that a
+fuller Viterbi deployment decodes, used by the extension examples and
+by the trellis-construction tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ConvolutionalEncoder"]
+
+
+class ConvolutionalEncoder:
+    """Feed-forward binary convolutional encoder.
+
+    Parameters
+    ----------
+    generators:
+        Generator polynomials, one per output bit, given as integers in
+        binary notation with the LSB weighting the *current* input bit
+        (e.g. the standard K=3 rate-1/2 code is ``(0b111, 0b101)``).
+    constraint_length:
+        Number of input bits each output depends on (K = memory + 1).
+    """
+
+    def __init__(self, generators: Sequence[int], constraint_length: int) -> None:
+        if constraint_length < 1:
+            raise ValueError("constraint length must be >= 1")
+        if not generators:
+            raise ValueError("need at least one generator polynomial")
+        limit = 1 << constraint_length
+        for g in generators:
+            if not 0 < g < limit:
+                raise ValueError(
+                    f"generator {g:#b} does not fit constraint length"
+                    f" {constraint_length}"
+                )
+        self.generators = tuple(int(g) for g in generators)
+        self.constraint_length = int(constraint_length)
+
+    @property
+    def memory(self) -> int:
+        return self.constraint_length - 1
+
+    @property
+    def num_states(self) -> int:
+        return 1 << self.memory
+
+    @property
+    def rate(self) -> Tuple[int, int]:
+        """Code rate as ``(input bits, output bits)`` per step."""
+        return (1, len(self.generators))
+
+    def step(self, state: int, bit: int) -> Tuple[int, Tuple[int, ...]]:
+        """One encoder step: ``(new_state, output_bits)``.
+
+        ``state`` holds the previous ``memory`` input bits, most recent
+        in the LSB.
+        """
+        if bit not in (0, 1):
+            raise ValueError("input bit must be 0 or 1")
+        register = (state << 1) | bit  # constraint_length bits
+        outputs = tuple(
+            bin(register & g).count("1") & 1 for g in self.generators
+        )
+        new_state = register & (self.num_states - 1)
+        return new_state, outputs
+
+    def encode(self, bits: Sequence[int], terminate: bool = False) -> np.ndarray:
+        """Encode a bit sequence (optionally flushing with ``memory`` zeros)."""
+        state = 0
+        out: List[int] = []
+        stream = list(bits) + ([0] * self.memory if terminate else [])
+        for bit in stream:
+            state, outputs = self.step(state, int(bit))
+            out.extend(outputs)
+        return np.asarray(out, dtype=np.int64)
+
+    def expected_outputs(self, state: int, bit: int) -> Tuple[float, ...]:
+        """BPSK-modulated outputs of a trellis branch (for branch metrics)."""
+        _, outputs = self.step(state, bit)
+        return tuple(2.0 * b - 1.0 for b in outputs)

@@ -1,0 +1,95 @@
+"""Digital modulation schemes.
+
+The paper's case studies use BPSK (Binary Phase Shift Keying); QPSK is
+provided as well because the MIMO detector reference design it builds
+on (Han, Erdogan & Arslan 2006) is a QPSK detector, and extension
+experiments use it.
+
+Bit convention: **bit 0 maps to -1 and bit 1 maps to +1** (times
+``sqrt(Es)``), so ``modulate`` is monotone in the bit value and
+``demodulate`` is a sign decision.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["BPSK", "QPSK"]
+
+
+class BPSK:
+    """Binary phase shift keying on the real line: ``{0,1} -> {-a,+a}``."""
+
+    bits_per_symbol = 1
+
+    def __init__(self, symbol_energy: float = 1.0) -> None:
+        if symbol_energy <= 0:
+            raise ValueError("symbol energy must be positive")
+        self.symbol_energy = float(symbol_energy)
+        self.amplitude = math.sqrt(symbol_energy)
+
+    def modulate(self, bits: Sequence[int]) -> np.ndarray:
+        """Map bits to antipodal real symbols."""
+        bits = np.asarray(bits)
+        if not np.isin(bits, (0, 1)).all():
+            raise ValueError("bits must be 0 or 1")
+        return (2.0 * bits - 1.0) * self.amplitude
+
+    def demodulate(self, samples: Sequence[float]) -> np.ndarray:
+        """Hard decision by sign (ties resolve to bit 1)."""
+        return (np.asarray(samples, dtype=np.float64) >= 0.0).astype(np.int64)
+
+    def constellation(self) -> np.ndarray:
+        """All symbols in bit order ``[bit0_symbol, bit1_symbol]``."""
+        return np.array([-self.amplitude, self.amplitude])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BPSK(symbol_energy={self.symbol_energy})"
+
+
+class QPSK:
+    """Gray-coded QPSK: two bits per complex symbol on the unit circle.
+
+    Bit pair ``(b0, b1)`` maps to ``(±a ± aj)/sqrt(2)`` with ``b0``
+    steering the real part and ``b1`` the imaginary part (Gray coding —
+    adjacent symbols differ in one bit).
+    """
+
+    bits_per_symbol = 2
+
+    def __init__(self, symbol_energy: float = 1.0) -> None:
+        if symbol_energy <= 0:
+            raise ValueError("symbol energy must be positive")
+        self.symbol_energy = float(symbol_energy)
+        self.amplitude = math.sqrt(symbol_energy / 2.0)
+
+    def modulate(self, bits: Sequence[int]) -> np.ndarray:
+        bits = np.asarray(bits)
+        if bits.size % 2 != 0:
+            raise ValueError("QPSK needs an even number of bits")
+        if not np.isin(bits, (0, 1)).all():
+            raise ValueError("bits must be 0 or 1")
+        pairs = bits.reshape(-1, 2)
+        real = (2.0 * pairs[:, 0] - 1.0) * self.amplitude
+        imag = (2.0 * pairs[:, 1] - 1.0) * self.amplitude
+        return real + 1j * imag
+
+    def demodulate(self, samples: Sequence[complex]) -> np.ndarray:
+        samples = np.asarray(samples, dtype=np.complex128)
+        bits = np.empty((samples.size, 2), dtype=np.int64)
+        bits[:, 0] = samples.real >= 0.0
+        bits[:, 1] = samples.imag >= 0.0
+        return bits.reshape(-1)
+
+    def constellation(self) -> np.ndarray:
+        """Symbols indexed by the integer value of the bit pair ``b0 b1``."""
+        a = self.amplitude
+        return np.array(
+            [(-a - 1j * a), (-a + 1j * a), (a - 1j * a), (a + 1j * a)]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QPSK(symbol_energy={self.symbol_energy})"

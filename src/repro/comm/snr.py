@@ -1,0 +1,64 @@
+"""Signal-to-noise ratio conventions and conversions.
+
+One convention is used across the whole library (and documented here
+once so every module agrees):
+
+* ``snr_db`` always denotes **Es/N0** in decibels — symbol energy over
+  one-sided noise spectral density.
+* A real AWGN observation is ``r = s + n`` with ``n ~ N(0, N0/2)``; the
+  per-real-dimension noise standard deviation is therefore
+  ``sigma = sqrt(Es / (2 * snr_linear))``.
+* A complex AWGN observation has ``n ~ CN(0, N0)`` — i.e. independent
+  real and imaginary parts each ``N(0, N0/2)`` with the *same* sigma.
+
+With BPSK symbols ``±sqrt(Es)`` this yields the textbook
+``BER = Q(sqrt(2 * snr_linear))`` (see :mod:`repro.comm.theory`), which
+the Monte-Carlo tests cross-check.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "db_to_linear",
+    "linear_to_db",
+    "noise_sigma",
+    "noise_variance",
+    "sigma_to_snr_db",
+]
+
+
+def db_to_linear(value_db: float) -> float:
+    """Convert a decibel quantity to its linear ratio."""
+    return 10.0 ** (value_db / 10.0)
+
+
+def linear_to_db(value: float) -> float:
+    """Convert a linear ratio to decibels."""
+    if value <= 0:
+        raise ValueError(f"ratio must be positive, got {value}")
+    return 10.0 * math.log10(value)
+
+
+def noise_variance(snr_db: float, symbol_energy: float = 1.0) -> float:
+    """Per-real-dimension noise variance ``N0/2`` for the given Es/N0.
+
+    This is the paper's "for a given SNR, we obtain the variance of the
+    Gaussian distribution of noise" step.
+    """
+    if symbol_energy <= 0:
+        raise ValueError(f"symbol energy must be positive, got {symbol_energy}")
+    return symbol_energy / (2.0 * db_to_linear(snr_db))
+
+
+def noise_sigma(snr_db: float, symbol_energy: float = 1.0) -> float:
+    """Per-real-dimension noise standard deviation for the given Es/N0."""
+    return math.sqrt(noise_variance(snr_db, symbol_energy))
+
+
+def sigma_to_snr_db(sigma: float, symbol_energy: float = 1.0) -> float:
+    """Inverse of :func:`noise_sigma` (useful for reporting)."""
+    if sigma <= 0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+    return linear_to_db(symbol_energy / (2.0 * sigma * sigma))

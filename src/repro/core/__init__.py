@@ -1,0 +1,32 @@
+"""Core contribution: statistical performance guarantees for MIMO RTL.
+
+Performance-metric definitions (best / average / worst case, Section
+IV-A.2 of the paper), the high-level :class:`PerformanceAnalyzer` tying
+models, reductions and the pCTL checker together, and the
+soundness-checked reduction toolbox in :mod:`repro.core.reductions`.
+"""
+
+from . import reductions
+from .analyzer import Guarantee, PerformanceAnalyzer
+from .metrics import (
+    MetricSpec,
+    PAPER_METRICS,
+    average_case_error,
+    best_case_error,
+    convergence_rate,
+    steady_state_ber,
+    worst_case_error,
+)
+
+__all__ = [
+    "reductions",
+    "Guarantee",
+    "PerformanceAnalyzer",
+    "MetricSpec",
+    "PAPER_METRICS",
+    "average_case_error",
+    "best_case_error",
+    "convergence_rate",
+    "steady_state_ber",
+    "worst_case_error",
+]

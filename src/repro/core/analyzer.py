@@ -1,0 +1,178 @@
+"""High-level analyzer: statistical guarantees for one RTL model.
+
+This is the library's front door — the paper's full methodology behind
+one object:
+
+>>> from repro.core.analyzer import PerformanceAnalyzer
+>>> analyzer = PerformanceAnalyzer.for_viterbi()      # doctest: +SKIP
+>>> analyzer.best_case(300).value                     # doctest: +SKIP
+>>> analyzer.ber().value                              # doctest: +SKIP
+
+An analyzer wraps a DTMC, checks metric specs or raw pCTL strings, and
+records per-check provenance (property, model size, wall-clock time) in
+:class:`Guarantee` records — the "quick, rigorous, high-confidence"
+numbers the paper promises, with the evidence attached.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from ..dtmc import DTMC, assert_ergodic, reachability_iterations
+from ..pctl import ModelChecker
+from .metrics import (
+    MetricSpec,
+    average_case_error,
+    best_case_error,
+    convergence_rate,
+    steady_state_ber,
+    worst_case_error,
+)
+
+__all__ = ["Guarantee", "PerformanceAnalyzer"]
+
+
+@dataclass(frozen=True)
+class Guarantee:
+    """One verified performance figure with its provenance.
+
+    Unlike a simulation estimate, the value carries no sampling error:
+    it is exact for the model up to linear-algebra round-off, which is
+    what the paper means by a statistical *guarantee*.
+    """
+
+    metric: str
+    property_string: str
+    value: float
+    model_states: int
+    model_transitions: int
+    check_seconds: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.metric} = {self.value:.6g}   "
+            f"[{self.property_string}; {self.model_states} states,"
+            f" {self.check_seconds:.2f}s]"
+        )
+
+
+class PerformanceAnalyzer:
+    """Checks the paper's performance metrics against one DTMC.
+
+    Construct directly from a chain, or use the case-study factories
+    :meth:`for_viterbi`, :meth:`for_viterbi_worst_case`,
+    :meth:`for_viterbi_convergence` and :meth:`for_mimo_detector`,
+    which build the (reduced, by default) models of Sections IV-A-C.
+    """
+
+    def __init__(self, chain: DTMC, name: str = "model") -> None:
+        self.chain = chain
+        self.name = name
+        self.checker = ModelChecker(chain)
+        self.history: List[Guarantee] = []
+
+    # ------------------------------------------------------------------
+    # Factories for the paper's case studies
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_viterbi(cls, config=None, reduced: bool = True) -> "PerformanceAnalyzer":
+        """Viterbi error model (Section IV-A); reduced ``M_R`` by default."""
+        from ..viterbi import build_full_model, build_reduced_model
+
+        build = build_reduced_model if reduced else build_full_model
+        result = build(config)
+        kind = "reduced" if reduced else "full"
+        return cls(result.chain, name=f"viterbi-{kind}")
+
+    @classmethod
+    def for_viterbi_worst_case(cls, config=None) -> "PerformanceAnalyzer":
+        """Viterbi model with the P3 error counter."""
+        from ..viterbi import build_error_count_model
+
+        return cls(build_error_count_model(config).chain, name="viterbi-errcnt")
+
+    @classmethod
+    def for_viterbi_convergence(cls, config=None) -> "PerformanceAnalyzer":
+        """Traceback-convergence model (Section IV-C)."""
+        from ..viterbi import build_convergence_model
+
+        return cls(build_convergence_model(config).chain, name="viterbi-conv")
+
+    @classmethod
+    def for_mimo_detector(
+        cls, config=None, reduced: bool = True, branch_cutoff: float = 0.0
+    ) -> "PerformanceAnalyzer":
+        """MIMO ML detector model (Section IV-B); symmetry-reduced by
+        default."""
+        from ..mimo import build_detector_model
+
+        result = build_detector_model(
+            config, reduced=reduced, branch_cutoff=branch_cutoff
+        )
+        kind = "reduced" if reduced else "full"
+        return cls(result.chain, name=f"mimo-{kind}")
+
+    # ------------------------------------------------------------------
+    # Checking
+    # ------------------------------------------------------------------
+    def check(self, metric: Union[MetricSpec, str]) -> Guarantee:
+        """Check a metric spec or a raw pCTL property string."""
+        if isinstance(metric, MetricSpec):
+            name, prop = metric.name, metric.property_string
+        else:
+            name, prop = "pCTL", str(metric)
+        start = time.perf_counter()
+        result = self.checker.check(prop)
+        elapsed = time.perf_counter() - start
+        guarantee = Guarantee(
+            metric=name,
+            property_string=prop,
+            value=float(result.value),
+            model_states=self.chain.num_states,
+            model_transitions=self.chain.num_transitions,
+            check_seconds=elapsed,
+        )
+        self.history.append(guarantee)
+        return guarantee
+
+    def best_case(self, horizon: int, flag: str = "flag") -> Guarantee:
+        """P1 at the given horizon."""
+        return self.check(best_case_error(horizon, flag))
+
+    def average_case(self, horizon: int, reward: Optional[str] = None) -> Guarantee:
+        """P2 at the given horizon."""
+        return self.check(average_case_error(horizon, reward))
+
+    def worst_case(
+        self, horizon: int, threshold: int = 1, counter: str = "errcnt"
+    ) -> Guarantee:
+        """P3 at the given horizon (needs an error-counter model)."""
+        return self.check(worst_case_error(horizon, threshold, counter))
+
+    def ber(self, flag: str = "flag") -> Guarantee:
+        """Steady-state BER (``S=? [ flag ]``)."""
+        return self.check(steady_state_ber(flag))
+
+    def convergence(self, horizon: int, reward: str = "nonconv") -> Guarantee:
+        """C1 at the given horizon (needs the convergence model)."""
+        return self.check(convergence_rate(horizon, reward))
+
+    # ------------------------------------------------------------------
+    # Model diagnostics (the paper's steady-state precondition)
+    # ------------------------------------------------------------------
+    def reachability_iterations(self) -> int:
+        """The paper's RI fixpoint for this chain."""
+        return reachability_iterations(self.chain)
+
+    def steady_state_preconditions(self) -> Dict[str, bool]:
+        """Check the paper's Section-III conditions for steady state."""
+        irreducible, aperiodic = assert_ergodic(self.chain)
+        return {"irreducible": irreducible, "aperiodic": aperiodic}
+
+    def summary(self) -> str:
+        """Human-readable record of everything checked so far."""
+        lines = [f"PerformanceAnalyzer({self.name}): {self.chain!r}"]
+        lines.extend(f"  {g}" for g in self.history)
+        return "\n".join(lines)

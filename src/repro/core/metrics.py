@@ -1,0 +1,124 @@
+"""The paper's BER-like performance metrics (Section IV-A.2).
+
+Each metric is a pCTL property template over a model exposing an error
+indicator.  The paper's set:
+
+* **P1, best case** — probability that *no* error occurs within ``T``
+  steps: ``P=? [ G<=T !flag ]``.
+* **P2, average case** — expected error indicator at step ``T``:
+  ``R=? [ I=T ]``; equals the BER once ``T`` exceeds the chain's
+  reachability fixpoint (steady state).
+* **P3, worst case** — probability that the number of errors within
+  ``T`` steps exceeds a threshold: ``P=? [ F<=T errcnt>k ]`` (requires
+  a model with a saturating error counter).
+* **C1, convergence** — same ``R=? [ I=T ]`` shape over the
+  non-convergence reward of the traceback-convergence model.
+
+The module renders the property strings; checking them is the
+:class:`repro.core.analyzer.PerformanceAnalyzer`'s job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "MetricSpec",
+    "best_case_error",
+    "average_case_error",
+    "worst_case_error",
+    "steady_state_ber",
+    "convergence_rate",
+    "PAPER_METRICS",
+]
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """A named performance metric bound to a pCTL property string.
+
+    Attributes
+    ----------
+    name:
+        Paper identifier (P1, P2, P3, C1, BER).
+    description:
+        One-line human reading of the metric.
+    property_string:
+        The pCTL property to check (PRISM syntax).
+    """
+
+    name: str
+    description: str
+    property_string: str
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.property_string}  ({self.description})"
+
+
+def best_case_error(horizon: int, flag: str = "flag") -> MetricSpec:
+    """P1 — probability that no error occurs in any of ``horizon`` steps."""
+    return MetricSpec(
+        name="P1",
+        description=f"probability of zero errors over {horizon} steps",
+        property_string=f"P=? [ G<={horizon} !{flag} ]",
+    )
+
+
+def average_case_error(horizon: int, reward: Optional[str] = None) -> MetricSpec:
+    """P2 — expected error indicator exactly at step ``horizon``.
+
+    With the 0/1 error reward this is the probability that the bit
+    decoded at step ``horizon`` is wrong; for ``horizon`` well past the
+    reachability fixpoint it is the BER.
+    """
+    name = f'{{"{reward}"}}' if reward else ""
+    return MetricSpec(
+        name="P2",
+        description=f"error probability at step {horizon} (BER in steady state)",
+        property_string=f"R{name}=? [ I={horizon} ]",
+    )
+
+
+def worst_case_error(
+    horizon: int, threshold: int = 1, counter: str = "errcnt"
+) -> MetricSpec:
+    """P3 — probability that more than ``threshold`` errors occur."""
+    return MetricSpec(
+        name="P3",
+        description=(
+            f"probability of more than {threshold} errors within"
+            f" {horizon} steps"
+        ),
+        property_string=f"P=? [ F<={horizon} {counter}>{threshold} ]",
+    )
+
+
+def steady_state_ber(flag: str = "flag") -> MetricSpec:
+    """BER — long-run probability of the error indicator."""
+    return MetricSpec(
+        name="BER",
+        description="long-run bit error rate",
+        property_string=f"S=? [ {flag} ]",
+    )
+
+
+def convergence_rate(horizon: int, reward: str = "nonconv") -> MetricSpec:
+    """C1 — probability that the bit decoded at step ``horizon`` has
+    non-converging traceback paths."""
+    return MetricSpec(
+        name="C1",
+        description=(
+            f"probability of non-converging traceback at step {horizon}"
+        ),
+        property_string=f'R{{"{reward}"}}=? [ I={horizon} ]',
+    )
+
+
+def PAPER_METRICS(horizon: int) -> list:
+    """The paper's P1/P2/P3 triple at a given horizon."""
+    return [
+        best_case_error(horizon),
+        average_case_error(horizon),
+        worst_case_error(horizon),
+    ]

@@ -1,0 +1,55 @@
+"""Property-preserving reductions with machine-checked soundness.
+
+* :mod:`abstraction` — quotient by an abstraction function, verified
+  against the Strong Lumping Theorem (the paper's Viterbi reduction).
+* :mod:`lumping` — coarsest strongly-lumpable partition by refinement
+  (Derisavi et al., the paper's reference [17]).
+* :mod:`bisimulation` — Larsen-Skou probabilistic bisimulation and a
+  decision procedure for bisimilarity of two chains.
+* :mod:`symmetry` — on-the-fly symmetry reduction and automorphism
+  verification (the paper's MIMO-detector reduction, reference [18]).
+* :mod:`equivalence` — exhaustive combinational equivalence checking
+  (substitute for the paper's use of Synopsys Formality).
+"""
+
+from .abstraction import (
+    LumpingError,
+    QuotientResult,
+    quotient_by_function,
+    quotient_by_partition,
+)
+from .bisimulation import (
+    BisimulationResult,
+    are_bisimilar,
+    coarsest_bisimulation,
+    disjoint_union,
+)
+from .equivalence import EquivalenceResult, assert_equivalent, functions_equivalent
+from .lumping import coarsest_lumping, initial_partition, lump
+from .symmetry import (
+    group_orbit_canonicalizer,
+    orbit_sizes,
+    sorted_blocks_canonicalizer,
+    verify_permutation_invariance,
+)
+
+__all__ = [
+    "LumpingError",
+    "QuotientResult",
+    "quotient_by_function",
+    "quotient_by_partition",
+    "BisimulationResult",
+    "are_bisimilar",
+    "coarsest_bisimulation",
+    "disjoint_union",
+    "EquivalenceResult",
+    "assert_equivalent",
+    "functions_equivalent",
+    "coarsest_lumping",
+    "initial_partition",
+    "lump",
+    "group_orbit_canonicalizer",
+    "orbit_sizes",
+    "sorted_blocks_canonicalizer",
+    "verify_permutation_invariance",
+]

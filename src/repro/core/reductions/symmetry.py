@@ -1,0 +1,176 @@
+"""Symmetry reduction for DTMC models.
+
+The paper's MIMO detector (Section IV-B) contains ``2 x N_R``
+structurally identical *metric blocks* — the real and imaginary parts
+of each receive antenna's matched-filter computation.  Exchanging the
+contents of two blocks neither changes the detector's decision (the
+sum in Eq. 15 is commutative) nor the transition probabilities (the
+blocks' noise and fading are i.i.d.), so states that differ only by a
+permutation of block contents are probabilistically bisimilar.
+
+The quotient under the full symmetric group on blocks is obtained by
+*canonicalization*: represent every state by the sorted tuple of its
+block contents.  Feeding :func:`sorted_blocks_canonicalizer` to the
+state-space builder performs the reduction on the fly, so the full
+model never materializes (Table II's 400x reduction).
+
+:func:`verify_permutation_invariance` is the corresponding soundness
+check on an explicit chain: it verifies that a given state permutation
+is an automorphism of the labeled chain, which by Kwiatkowska, Norman
+& Parker ("Symmetry reduction for probabilistic model checking",
+CAV 2006 — the paper's reference [18]) makes the quotient preserve all
+pCTL properties over the symmetric labels.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...dtmc.chain import DTMC
+
+__all__ = [
+    "sorted_blocks_canonicalizer",
+    "group_orbit_canonicalizer",
+    "verify_permutation_invariance",
+    "orbit_sizes",
+]
+
+
+def sorted_blocks_canonicalizer(
+    extract: Callable[[Any], Tuple[Sequence[Any], Any]],
+    rebuild: Callable[[Sequence[Any], Any], Any],
+) -> Callable[[Any], Any]:
+    """Canonicalizer for full-symmetric-group block permutations.
+
+    ``extract(state)`` must return ``(blocks, rest)`` where ``blocks``
+    is the sequence of exchangeable components and ``rest`` the
+    asymmetric remainder; ``rebuild(sorted_blocks, rest)`` re-assembles
+    a state.  The canonical representative sorts the blocks, which is
+    the unique orbit representative under all permutations.
+    """
+
+    def canonicalize(state: Any) -> Any:
+        blocks, rest = extract(state)
+        return rebuild(tuple(sorted(blocks)), rest)
+
+    return canonicalize
+
+
+def group_orbit_canonicalizer(
+    generators: Sequence[Callable[[Any], Any]],
+    max_orbit: int = 10_000,
+) -> Callable[[Any], Any]:
+    """Canonicalizer for an arbitrary finite symmetry group.
+
+    ``generators`` are state-to-state bijections generating the group.
+    The orbit of a state is enumerated by closure under the generators
+    and its minimum (by Python ordering) is the representative.  Meant
+    for small groups (e.g. cyclic rotations); for the full symmetric
+    group on blocks prefer :func:`sorted_blocks_canonicalizer`, which
+    avoids the factorial orbit enumeration.
+    """
+
+    def canonicalize(state: Any) -> Any:
+        orbit = {state}
+        frontier = [state]
+        while frontier:
+            nxt = []
+            for s in frontier:
+                for g in generators:
+                    image = g(s)
+                    if image not in orbit:
+                        orbit.add(image)
+                        nxt.append(image)
+                        if len(orbit) > max_orbit:
+                            raise RuntimeError(
+                                "orbit exceeded max_orbit; wrong generators?"
+                            )
+            frontier = nxt
+        return min(orbit)
+
+    return canonicalize
+
+
+def verify_permutation_invariance(
+    chain: DTMC,
+    permute: Callable[[Any], Any],
+    respect_labels: Optional[Iterable[str]] = None,
+    atol: float = 1e-9,
+) -> bool:
+    """Check that ``permute`` is an automorphism of the labeled chain.
+
+    Verifies, for every state ``s``:
+
+    * ``permute(s)`` is a reachable state of the chain;
+    * ``P(permute(s), permute(s')) == P(s, s')`` for all successors;
+    * every label in ``respect_labels`` (default: all) and every reward
+      agree on ``s`` and ``permute(s)``;
+    * the initial distribution is invariant.
+
+    Returns True or raises ``AssertionError`` with a witness — meant to
+    be called from tests and from the analyzer's soundness mode.
+    """
+    if chain.states is None:
+        raise ValueError("chain must carry state objects")
+    index = {state: i for i, state in enumerate(chain.states)}
+    label_names = list(respect_labels) if respect_labels is not None else list(chain.labels)
+
+    for i, state in enumerate(chain.states):
+        image = permute(state)
+        j = index.get(image)
+        if j is None:
+            raise AssertionError(
+                f"permutation image {image!r} of state {state!r} is not a state"
+            )
+        for name in label_names:
+            vec = chain.label_vector(name)
+            if bool(vec[i]) != bool(vec[j]):
+                raise AssertionError(
+                    f"label {name!r} not invariant: {state!r} vs {image!r}"
+                )
+        for name, vec in chain.rewards.items():
+            if abs(float(vec[i]) - float(vec[j])) > atol:
+                raise AssertionError(
+                    f"reward {name!r} not invariant: {state!r} vs {image!r}"
+                )
+        if abs(chain.initial_distribution[i] - chain.initial_distribution[j]) > atol:
+            raise AssertionError(
+                f"initial distribution not invariant on {state!r}"
+            )
+        row = {index[chain.states[t]]: p for t, p in chain.successors(i)}
+        permuted_row = {}
+        for t, p in chain.successors(i):
+            image_t = permute(chain.states[t])
+            jt = index.get(image_t)
+            if jt is None:
+                raise AssertionError(
+                    f"successor image {image_t!r} is not a state"
+                )
+            permuted_row[jt] = permuted_row.get(jt, 0.0) + p
+        actual_row = dict(chain.successors(j))
+        keys = set(permuted_row) | set(actual_row)
+        for k in keys:
+            if abs(permuted_row.get(k, 0.0) - actual_row.get(k, 0.0)) > atol:
+                raise AssertionError(
+                    f"transition probabilities not invariant at {state!r} ->"
+                    f" {chain.states[k]!r}"
+                )
+    return True
+
+
+def orbit_sizes(
+    states: Sequence[Hashable], canonicalize: Callable[[Any], Any]
+) -> dict:
+    """Histogram of orbit sizes: canonical representative -> orbit count.
+
+    Useful for predicting the reduction factor of a symmetry quotient
+    (the paper's Table II ratio is ``sum(sizes) / len(sizes)``).
+    """
+    sizes: dict = {}
+    for state in states:
+        rep = canonicalize(state)
+        sizes[rep] = sizes.get(rep, 0) + 1
+    return sizes

@@ -1,0 +1,357 @@
+"""State-space exploration: compile a probabilistic next-state function
+into an explicit :class:`~repro.dtmc.chain.DTMC`.
+
+This is the bridge between RTL-style models (the Viterbi decoder and
+MIMO detector modules, or guarded-command programs from
+:mod:`repro.prog`) and the model-checking engine.  A model is any
+function mapping a hashable state to a finite distribution over
+successor states; the builder performs a breadth-first exploration from
+the initial states, interning states as it discovers them.
+
+Two scalability features mirror the paper's tooling:
+
+* ``canonicalize`` — a hook mapping each discovered state to a
+  canonical representative *before* interning.  Supplying the orbit
+  representative of a symmetry group performs **on-the-fly symmetry
+  reduction** (Section IV-B / Table II): the quotient chain is built
+  directly and the full model never materializes.
+* ``branch_cutoff`` — branches with probability below the cutoff are
+  discarded and the remaining branch probabilities renormalized, which
+  is how PRISM's 1e-15 pruning kept the paper's 1x4 detector model
+  tractable (Table II).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from .chain import DTMC, DTMCValidationError
+
+__all__ = [
+    "ExplorationLimitError",
+    "ExplorationResult",
+    "build_dtmc",
+    "build_iid_dtmc",
+]
+
+State = Hashable
+Branch = Tuple[float, State]
+TransitionFn = Callable[[State], Sequence[Branch]]
+
+#: Probability mass lost to merging/cutoff must stay within this bound
+#: of a renormalizable row.
+PROBABILITY_TOLERANCE = 1e-9
+
+
+class ExplorationLimitError(RuntimeError):
+    """Raised when exploration exceeds ``max_states``."""
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of :func:`build_dtmc`.
+
+    Attributes
+    ----------
+    chain:
+        The constructed DTMC (row-stochastic, validated).
+    states:
+        State objects in index order (also stored on ``chain.states``).
+    index:
+        Mapping from state object to its index.
+    bfs_levels:
+        Number of BFS levels needed to exhaust the reachable set; this
+        equals the paper's *reachability iterations* (RI) figure.
+    discarded_branches:
+        Count of probability branches dropped by ``branch_cutoff``.
+    """
+
+    chain: DTMC
+    states: List[State]
+    index: Dict[State, int]
+    bfs_levels: int
+    discarded_branches: int = 0
+
+    @property
+    def num_states(self) -> int:
+        return len(self.states)
+
+
+def _normalize_branches(
+    branches: Sequence[Branch],
+    canonicalize: Optional[Callable[[State], State]],
+    branch_cutoff: float,
+) -> Tuple[List[Branch], int]:
+    """Canonicalize successors, merge duplicates, apply the cutoff,
+    and renormalize to a stochastic row."""
+    merged: Dict[State, float] = {}
+    for probability, successor in branches:
+        probability = float(probability)
+        if probability < 0:
+            raise DTMCValidationError(
+                f"negative branch probability {probability}"
+            )
+        if probability == 0.0:
+            continue
+        if canonicalize is not None:
+            successor = canonicalize(successor)
+        merged[successor] = merged.get(successor, 0.0) + probability
+
+    discarded = 0
+    if branch_cutoff > 0.0:
+        kept = {s: p for s, p in merged.items() if p >= branch_cutoff}
+        discarded = len(merged) - len(kept)
+        merged = kept
+
+    total = sum(merged.values())
+    if not merged or total <= 0.0:
+        raise DTMCValidationError(
+            "state has no outgoing probability mass after cutoff; "
+            "lower branch_cutoff or fix the model"
+        )
+    if abs(total - 1.0) > PROBABILITY_TOLERANCE and branch_cutoff == 0.0:
+        raise DTMCValidationError(
+            f"branch probabilities sum to {total}, expected 1.0"
+        )
+    return [(p / total, s) for s, p in merged.items()], discarded
+
+
+def build_dtmc(
+    transition_fn: TransitionFn,
+    initial: State | Sequence[Branch],
+    labels: Optional[Mapping[str, Callable[[State], bool]]] = None,
+    rewards: Optional[Mapping[str, Callable[[State], float]]] = None,
+    canonicalize: Optional[Callable[[State], State]] = None,
+    branch_cutoff: float = 0.0,
+    max_states: Optional[int] = None,
+    keep_states: bool = True,
+) -> ExplorationResult:
+    """Explore the reachable state space of a probabilistic model.
+
+    Parameters
+    ----------
+    transition_fn:
+        Maps a state to its successor distribution as ``(probability,
+        next_state)`` pairs.  Probabilities of one state's branches
+        must sum to 1 (up to merging of equal successors); with a
+        positive ``branch_cutoff`` the row is renormalized instead.
+    initial:
+        Either a single initial state or a distribution given as
+        ``(probability, state)`` pairs.
+    labels / rewards:
+        Predicates / real-valued functions evaluated on every reachable
+        state to produce the chain's atomic propositions and reward
+        structures (the paper's ``flag`` label-and-reward, e.g.).
+    canonicalize:
+        Orbit-representative function for on-the-fly symmetry
+        reduction.  Must satisfy ``canonicalize(canonicalize(s)) ==
+        canonicalize(s)`` and be compatible with the dynamics (the
+        model's distribution must be invariant across an orbit); the
+        soundness checkers in :mod:`repro.core.reductions` can verify
+        this on the built chain.
+    branch_cutoff:
+        Discard branches below this probability and renormalize
+        (PRISM-style pruning).
+    max_states:
+        Abort with :class:`ExplorationLimitError` when exceeded —
+        protects against accidentally exploring an unreduced model.
+    keep_states:
+        Keep state objects on the chain (needed for pCTL expressions
+        over state variables and for reduction diagnostics).
+    """
+    # A plain list of (probability, state) pairs is an initial
+    # distribution; anything else (including tuple-like state objects
+    # such as namedtuples) is a single initial state.
+    if (
+        isinstance(initial, list)
+        and initial
+        and all(
+            isinstance(item, tuple)
+            and len(item) == 2
+            and isinstance(item[0], (int, float))
+            for item in initial
+        )
+    ):
+        initial_branches: Sequence[Branch] = initial  # type: ignore[assignment]
+    else:
+        initial_branches = [(1.0, initial)]
+
+    index: Dict[State, int] = {}
+    states: List[State] = []
+
+    def intern(state: State) -> int:
+        slot = index.get(state)
+        if slot is None:
+            slot = len(states)
+            index[state] = slot
+            states.append(state)
+            if max_states is not None and slot >= max_states:
+                raise ExplorationLimitError(
+                    f"exploration exceeded max_states={max_states}"
+                )
+        return slot
+
+    initial_norm, _ = _normalize_branches(
+        list(initial_branches), canonicalize, branch_cutoff=0.0
+    )
+    initial_pairs = [(p, intern(s)) for p, s in initial_norm]
+
+    rows: List[int] = []
+    cols: List[int] = []
+    vals: List[float] = []
+    discarded_total = 0
+
+    frontier: List[int] = [i for _, i in initial_pairs]
+    seen_frontier = set(frontier)
+    bfs_levels = 0
+    explored_upto = 0
+
+    while frontier:
+        next_frontier: List[int] = []
+        for state_id in frontier:
+            state = states[state_id]
+            branches, discarded = _normalize_branches(
+                list(transition_fn(state)), canonicalize, branch_cutoff
+            )
+            discarded_total += discarded
+            for probability, successor in branches:
+                succ_known = successor in index
+                succ_id = intern(successor)
+                rows.append(state_id)
+                cols.append(succ_id)
+                vals.append(probability)
+                if not succ_known and succ_id not in seen_frontier:
+                    next_frontier.append(succ_id)
+                    seen_frontier.add(succ_id)
+        if not next_frontier:
+            break
+        bfs_levels += 1
+        frontier = next_frontier
+        seen_frontier = set(frontier)
+
+    n = len(states)
+    matrix = sparse.csr_matrix((vals, (rows, cols)), shape=(n, n))
+    matrix.sum_duplicates()
+
+    init_vec = np.zeros(n)
+    for probability, state_id in initial_pairs:
+        init_vec[state_id] += probability
+
+    label_vectors: Dict[str, np.ndarray] = {}
+    for name, predicate in (labels or {}).items():
+        label_vectors[name] = np.fromiter(
+            (bool(predicate(s)) for s in states), dtype=bool, count=n
+        )
+    reward_vectors: Dict[str, np.ndarray] = {}
+    for name, fn in (rewards or {}).items():
+        reward_vectors[name] = np.fromiter(
+            (float(fn(s)) for s in states), dtype=np.float64, count=n
+        )
+
+    chain = DTMC(
+        matrix,
+        init_vec,
+        labels=label_vectors,
+        rewards=reward_vectors,
+        states=states if keep_states else None,
+    )
+    return ExplorationResult(
+        chain=chain,
+        states=states,
+        index=index,
+        bfs_levels=bfs_levels,
+        discarded_branches=discarded_total,
+    )
+
+
+def build_iid_dtmc(
+    step_distribution: Sequence[Branch],
+    initial: State,
+    labels: Optional[Mapping[str, Callable[[State], bool]]] = None,
+    rewards: Optional[Mapping[str, Callable[[State], float]]] = None,
+    branch_cutoff: float = 0.0,
+) -> ExplorationResult:
+    """Build the chain of an i.i.d. per-step system (memoryless redraw).
+
+    Some RTL blocks — the paper's MIMO detector among them — redraw all
+    their probabilistic inputs every clock cycle, so *every* state has
+    the same successor distribution.  Exploring such a chain with
+    :func:`build_dtmc` would materialize ``n`` identical dense rows one
+    Python branch at a time; this constructor instead tiles the single
+    row, which is orders of magnitude faster and is the explicit-state
+    analogue of the factored (MTBDD) representation PRISM exploits.
+
+    ``step_distribution`` is the common one-step outcome distribution;
+    ``initial`` is the cold-start state (prepended if it is not in the
+    support).  Labels/rewards are evaluated on every state as usual.
+    """
+    merged: Dict[State, float] = {}
+    for probability, state in step_distribution:
+        probability = float(probability)
+        if probability < 0:
+            raise DTMCValidationError(f"negative probability {probability}")
+        if probability > 0:
+            merged[state] = merged.get(state, 0.0) + probability
+    discarded = 0
+    if branch_cutoff > 0.0:
+        kept = {s: p for s, p in merged.items() if p >= branch_cutoff}
+        discarded = len(merged) - len(kept)
+        merged = kept
+    total = sum(merged.values())
+    if not merged:
+        raise DTMCValidationError("step distribution is empty after cutoff")
+    if branch_cutoff == 0.0 and abs(total - 1.0) > PROBABILITY_TOLERANCE:
+        raise DTMCValidationError(
+            f"step distribution sums to {total}, expected 1.0"
+        )
+
+    support = sorted(merged)
+    states: List[State] = ([initial] if initial not in merged else []) + support
+    index = {state: i for i, state in enumerate(states)}
+    n = len(states)
+    k = len(support)
+
+    columns = np.fromiter(
+        (index[state] for state in support), dtype=np.int64, count=k
+    )
+    row_data = np.fromiter(
+        (merged[state] / total for state in support), dtype=np.float64, count=k
+    )
+    indptr = np.arange(0, (n + 1) * k, k, dtype=np.int64)
+    matrix = sparse.csr_matrix(
+        (np.tile(row_data, n), np.tile(columns, n), indptr), shape=(n, n)
+    )
+
+    init_vec = np.zeros(n)
+    init_vec[index[initial]] = 1.0
+
+    label_vectors: Dict[str, np.ndarray] = {}
+    for name, predicate in (labels or {}).items():
+        label_vectors[name] = np.fromiter(
+            (bool(predicate(s)) for s in states), dtype=bool, count=n
+        )
+    reward_vectors: Dict[str, np.ndarray] = {}
+    for name, fn in (rewards or {}).items():
+        reward_vectors[name] = np.fromiter(
+            (float(fn(s)) for s in states), dtype=np.float64, count=n
+        )
+
+    chain = DTMC(
+        matrix,
+        init_vec,
+        labels=label_vectors,
+        rewards=reward_vectors,
+        states=states,
+    )
+    return ExplorationResult(
+        chain=chain,
+        states=states,
+        index=index,
+        bfs_levels=1 if initial not in merged else 0,
+        discarded_branches=discarded,
+    )

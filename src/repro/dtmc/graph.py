@@ -1,0 +1,240 @@
+"""Graph-theoretic analysis of DTMCs.
+
+Provides the structural facts the paper's methodology relies on:
+
+* reachability from the initial states (PRISM's "reachability
+  iterations" fixpoint, reported as *RI* in Tables III-V);
+* strongly connected components and *bottom* SCCs (BSCCs), which carry
+  all long-run probability mass;
+* irreducibility and aperiodicity checks — the paper's steady-state
+  argument ("all finite, irreducible, aperiodic DTMC models are
+  guaranteed to reach a steady state") is implemented as an explicit
+  check here.
+
+The SCC computation is an iterative Tarjan so it does not hit Python's
+recursion limit on million-state chains.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+from typing import List, Sequence, Set, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from .chain import DTMC
+
+__all__ = [
+    "reachable_states",
+    "reachability_iterations",
+    "strongly_connected_components",
+    "bottom_sccs",
+    "is_irreducible",
+    "period",
+    "is_aperiodic",
+    "backward_reachable",
+]
+
+
+def _indptr_indices(matrix: sparse.csr_matrix) -> Tuple[np.ndarray, np.ndarray]:
+    return matrix.indptr, matrix.indices
+
+
+def reachable_states(chain: DTMC, sources: Sequence[int] | None = None) -> Set[int]:
+    """States reachable (in any number of steps) from ``sources``.
+
+    ``sources`` defaults to the chain's initial states.
+    """
+    indptr, indices = _indptr_indices(chain.transition_matrix)
+    if sources is None:
+        sources = chain.initial_states()
+    seen: Set[int] = set(int(s) for s in sources)
+    frontier = list(seen)
+    while frontier:
+        next_frontier: List[int] = []
+        for u in frontier:
+            for v in indices[indptr[u] : indptr[u + 1]]:
+                v = int(v)
+                if v not in seen:
+                    seen.add(v)
+                    next_frontier.append(v)
+        frontier = next_frontier
+    return seen
+
+
+def reachability_iterations(chain: DTMC, sources: Sequence[int] | None = None) -> int:
+    """Number of BFS levels until the reachable set stops growing.
+
+    This is the *RI* fixpoint the paper reports: after ``RI``
+    iterations of forward exploration no new states are discovered, and
+    transient quantities computed at horizons well beyond RI are near
+    their steady-state values.
+    """
+    indptr, indices = _indptr_indices(chain.transition_matrix)
+    if sources is None:
+        sources = chain.initial_states()
+    seen: Set[int] = set(int(s) for s in sources)
+    frontier = list(seen)
+    iterations = 0
+    while frontier:
+        next_frontier: List[int] = []
+        for u in frontier:
+            for v in indices[indptr[u] : indptr[u + 1]]:
+                v = int(v)
+                if v not in seen:
+                    seen.add(v)
+                    next_frontier.append(v)
+        if not next_frontier:
+            break
+        iterations += 1
+        frontier = next_frontier
+    return iterations
+
+
+def backward_reachable(chain: DTMC, targets: Sequence[int]) -> Set[int]:
+    """States from which some state in ``targets`` is reachable."""
+    transpose = chain.transition_matrix.tocsc()
+    indptr, indices = transpose.indptr, transpose.indices
+    seen: Set[int] = set(int(t) for t in targets)
+    frontier = list(seen)
+    while frontier:
+        next_frontier: List[int] = []
+        for u in frontier:
+            for v in indices[indptr[u] : indptr[u + 1]]:
+                v = int(v)
+                if v not in seen:
+                    seen.add(v)
+                    next_frontier.append(v)
+        frontier = next_frontier
+    return seen
+
+
+def strongly_connected_components(chain: DTMC) -> List[List[int]]:
+    """Tarjan's algorithm (iterative) over the transition graph.
+
+    Returns components in reverse topological order (Tarjan's natural
+    output order): every edge between distinct components points from a
+    later component in the list to an earlier one.
+    """
+    n = chain.num_states
+    indptr, indices = _indptr_indices(chain.transition_matrix)
+
+    index_counter = 0
+    stack: List[int] = []
+    on_stack = np.zeros(n, dtype=bool)
+    index = np.full(n, -1, dtype=np.int64)
+    lowlink = np.zeros(n, dtype=np.int64)
+    components: List[List[int]] = []
+
+    for root in range(n):
+        if index[root] != -1:
+            continue
+        # Each work item is (node, next-edge-offset).
+        work: List[List[int]] = [[root, indptr[root]]]
+        while work:
+            node, edge_ptr = work[-1]
+            if index[node] == -1:
+                index[node] = index_counter
+                lowlink[node] = index_counter
+                index_counter += 1
+                stack.append(node)
+                on_stack[node] = True
+            advanced = False
+            while edge_ptr < indptr[node + 1]:
+                succ = int(indices[edge_ptr])
+                edge_ptr += 1
+                if index[succ] == -1:
+                    work[-1][1] = edge_ptr
+                    work.append([succ, indptr[succ]])
+                    advanced = True
+                    break
+                if on_stack[succ]:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if lowlink[node] == index[node]:
+                component: List[int] = []
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    component.append(w)
+                    if w == node:
+                        break
+                components.append(component)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return components
+
+
+def bottom_sccs(chain: DTMC) -> List[List[int]]:
+    """SCCs with no outgoing edges (the chain's recurrent classes)."""
+    components = strongly_connected_components(chain)
+    component_of = np.empty(chain.num_states, dtype=np.int64)
+    for comp_id, members in enumerate(components):
+        for state in members:
+            component_of[state] = comp_id
+    indptr, indices = _indptr_indices(chain.transition_matrix)
+    bottoms: List[List[int]] = []
+    for comp_id, members in enumerate(components):
+        is_bottom = True
+        for u in members:
+            for v in indices[indptr[u] : indptr[u + 1]]:
+                if component_of[int(v)] != comp_id:
+                    is_bottom = False
+                    break
+            if not is_bottom:
+                break
+        if is_bottom:
+            bottoms.append(sorted(members))
+    return bottoms
+
+
+def is_irreducible(chain: DTMC) -> bool:
+    """True iff the whole state space is one strongly connected class."""
+    components = strongly_connected_components(chain)
+    return len(components) == 1
+
+
+def period(chain: DTMC, state: int = 0) -> int:
+    """Period of ``state``: gcd of the lengths of all cycles through its class.
+
+    Computed with the standard BFS-level trick: within the SCC of
+    ``state``, the gcd of ``level(u) + 1 - level(v)`` over all edges
+    ``u -> v`` inside the class equals the period.
+    """
+    components = strongly_connected_components(chain)
+    home = None
+    for members in components:
+        if state in members:
+            home = set(members)
+            break
+    assert home is not None
+    indptr, indices = _indptr_indices(chain.transition_matrix)
+    level = {state: 0}
+    frontier = [state]
+    g = 0
+    while frontier:
+        next_frontier: List[int] = []
+        for u in frontier:
+            for v in indices[indptr[u] : indptr[u + 1]]:
+                v = int(v)
+                if v not in home:
+                    continue
+                if v in level:
+                    g = gcd(g, level[u] + 1 - level[v])
+                else:
+                    level[v] = level[u] + 1
+                    next_frontier.append(v)
+        frontier = next_frontier
+    return abs(g) if g else 0
+
+
+def is_aperiodic(chain: DTMC) -> bool:
+    """True iff every recurrent class of the chain has period 1."""
+    for members in bottom_sccs(chain):
+        if period(chain, members[0]) != 1:
+            return False
+    return True

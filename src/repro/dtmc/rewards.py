@@ -1,0 +1,99 @@
+"""Reward structures over DTMCs.
+
+The paper uses the simplest possible reward model — each state earns a
+reward equal to its ``flag`` bit — so ``R=? [I=T]`` is directly the
+error probability at step ``T``.  This module generalizes that to the
+standard PRISM reward structure with both *state* rewards (earned per
+time step spent in a state) and *transition* rewards (earned when an
+edge is taken), which the cumulative-reward operator needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy import sparse
+
+from .chain import DTMC
+
+__all__ = ["RewardStructure", "attach_reward"]
+
+
+@dataclass
+class RewardStructure:
+    """State and (optional) transition rewards for a chain.
+
+    Attributes
+    ----------
+    state_rewards:
+        Vector ``rho`` with ``rho[s]`` earned at every step spent in
+        ``s``.
+    transition_rewards:
+        Optional sparse matrix ``iota`` with ``iota[s, s']`` earned
+        when the edge ``s -> s'`` is taken.  Must have the same
+        sparsity support as the chain's transition matrix (rewards on
+        impossible edges are meaningless).
+    """
+
+    state_rewards: np.ndarray
+    transition_rewards: Optional[sparse.csr_matrix] = None
+
+    def __post_init__(self) -> None:
+        self.state_rewards = np.asarray(self.state_rewards, dtype=np.float64)
+        if self.transition_rewards is not None:
+            self.transition_rewards = sparse.csr_matrix(
+                self.transition_rewards, dtype=np.float64
+            )
+
+    @property
+    def num_states(self) -> int:
+        return self.state_rewards.shape[0]
+
+    def expected_step_reward(self, chain: DTMC) -> np.ndarray:
+        """Per-state expected one-step reward: ``rho[s] + sum_s' P[s,s'] iota[s,s']``.
+
+        This folds transition rewards into an equivalent state-reward
+        vector, which is how the transient/steady solvers consume
+        rewards.
+        """
+        expected = self.state_rewards.copy()
+        if self.transition_rewards is not None:
+            weighted = chain.transition_matrix.multiply(self.transition_rewards)
+            expected = expected + np.asarray(weighted.sum(axis=1)).ravel()
+        return expected
+
+    def instantaneous(self, chain: DTMC, t: int) -> float:
+        """``R=? [ I=t ]`` under this structure (state rewards only, by
+        the standard semantics of the instantaneous operator)."""
+        from .transient import instantaneous_reward
+
+        return instantaneous_reward(chain, self.state_rewards, t)
+
+    def cumulative(self, chain: DTMC, t: int) -> float:
+        """``R=? [ C<=t ]`` including transition rewards."""
+        from .transient import cumulative_reward
+
+        return cumulative_reward(chain, self.expected_step_reward(chain), t)
+
+    def long_run(self, chain: DTMC) -> float:
+        """``R=? [ S ]`` (long-run average reward) including transition rewards."""
+        from .steady_state import long_run_distribution
+
+        pi = long_run_distribution(chain)
+        return float(pi @ self.expected_step_reward(chain))
+
+
+def attach_reward(chain: DTMC, name: str, structure: RewardStructure) -> None:
+    """Register ``structure`` on ``chain`` under ``name``.
+
+    The chain stores the folded expected one-step reward vector, which
+    every solver in :mod:`repro.dtmc` and :mod:`repro.pctl` understands.
+    """
+    if structure.num_states != chain.num_states:
+        raise ValueError(
+            f"reward structure has {structure.num_states} states,"
+            f" chain has {chain.num_states}"
+        )
+    chain.rewards[name] = structure.expected_step_reward(chain)

@@ -1,0 +1,87 @@
+"""Path sampling from DTMCs.
+
+Monte-Carlo simulation *of the chain itself* — the bridge between the
+exact engine and statistical model checking: sampled prefixes are fed
+to the bounded-property evaluators in :mod:`repro.smc.bridge`, and the
+sampler doubles as a general-purpose trace generator for debugging
+models.
+
+Sampling uses inverse-CDF lookups on precomputed cumulative rows, so
+drawing many paths from one chain is cheap.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .chain import DTMC
+
+__all__ = ["PathSampler", "sample_path"]
+
+
+class PathSampler:
+    """Draws state-index paths from a chain.
+
+    Precomputes per-row cumulative distributions once; each step of
+    each path is then a binary search.
+    """
+
+    def __init__(self, chain: DTMC, rng: Optional[np.random.Generator] = None) -> None:
+        self.chain = chain
+        self.rng = rng if rng is not None else np.random.default_rng()
+        matrix = chain.transition_matrix
+        self._indptr = matrix.indptr
+        self._indices = matrix.indices
+        self._cumulative = np.copy(matrix.data)
+        for state in range(chain.num_states):
+            start, end = self._indptr[state], self._indptr[state + 1]
+            self._cumulative[start:end] = np.cumsum(self._cumulative[start:end])
+        init = chain.initial_distribution
+        self._init_states = np.nonzero(init)[0]
+        self._init_cumulative = np.cumsum(init[self._init_states])
+
+    def sample_initial(self) -> int:
+        """Draw a start state from the initial distribution."""
+        u = self.rng.random() * self._init_cumulative[-1]
+        k = int(np.searchsorted(self._init_cumulative, u, side="right"))
+        k = min(k, len(self._init_states) - 1)
+        return int(self._init_states[k])
+
+    def step(self, state: int) -> int:
+        """Draw one successor of ``state``."""
+        start, end = self._indptr[state], self._indptr[state + 1]
+        if start == end:
+            raise ValueError(f"state {state} has no outgoing transitions")
+        u = self.rng.random() * self._cumulative[end - 1]
+        k = int(np.searchsorted(self._cumulative[start:end], u, side="right"))
+        k = min(k, end - start - 1)
+        return int(self._indices[start + k])
+
+    def path(self, length: int, start: Optional[int] = None) -> np.ndarray:
+        """A path of ``length`` transitions: ``length + 1`` state indices."""
+        state = self.sample_initial() if start is None else int(start)
+        out = np.empty(length + 1, dtype=np.int64)
+        out[0] = state
+        for t in range(1, length + 1):
+            state = self.step(state)
+            out[t] = state
+        return out
+
+    def paths(self, count: int, length: int) -> np.ndarray:
+        """``count`` independent paths, shape ``(count, length + 1)``."""
+        out = np.empty((count, length + 1), dtype=np.int64)
+        for i in range(count):
+            out[i] = self.path(length)
+        return out
+
+
+def sample_path(
+    chain: DTMC,
+    length: int,
+    rng: Optional[np.random.Generator] = None,
+    start: Optional[int] = None,
+) -> np.ndarray:
+    """One-shot convenience wrapper around :class:`PathSampler`."""
+    return PathSampler(chain, rng).path(length, start=start)

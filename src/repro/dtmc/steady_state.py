@@ -1,0 +1,176 @@
+"""Steady-state (long-run) analysis of DTMCs.
+
+The paper interprets BER as the steady-state expectation of the
+``flag`` reward ("in steady state, BER can be interpreted as the
+probability of a bit error occurring at any time step").  This module
+computes:
+
+* the stationary distribution of an irreducible chain (direct sparse
+  linear solve, with a power-iteration fallback);
+* the general long-run distribution of an arbitrary finite chain via
+  BSCC decomposition + absorption probabilities;
+* long-run average rewards (used to cross-check ``R=?[I=T]`` at large
+  ``T``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse import linalg as sparse_linalg
+
+from .chain import DTMC
+from .graph import bottom_sccs, is_aperiodic, is_irreducible
+
+__all__ = [
+    "stationary_distribution",
+    "long_run_distribution",
+    "long_run_reward",
+    "absorption_probabilities",
+    "power_iteration",
+    "assert_ergodic",
+]
+
+
+def power_iteration(
+    chain: DTMC,
+    tolerance: float = 1e-12,
+    max_iterations: int = 200_000,
+    initial: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Iterate ``pi <- pi P`` until the L1 change drops below ``tolerance``.
+
+    Converges for aperiodic chains; used both as a solver fallback and
+    to mimic PRISM's iterative steady-state computation.
+    """
+    pi = np.array(
+        chain.initial_distribution if initial is None else initial, dtype=np.float64
+    )
+    matrix = chain.transition_matrix
+    for _ in range(max_iterations):
+        nxt = pi @ matrix
+        if np.abs(nxt - pi).sum() < tolerance:
+            return nxt
+        pi = nxt
+    raise RuntimeError(
+        f"power iteration did not converge within {max_iterations} iterations"
+    )
+
+
+def stationary_distribution(chain: DTMC) -> np.ndarray:
+    """Unique stationary distribution of an irreducible chain.
+
+    Solves ``pi (P - I) = 0`` with the normalization ``sum(pi) = 1`` by
+    replacing one column of the system with the all-ones constraint;
+    this is the standard direct method and is exact up to the sparse
+    solver's accuracy.
+    """
+    if not is_irreducible(chain):
+        raise ValueError(
+            "chain is not irreducible; use long_run_distribution() instead"
+        )
+    n = chain.num_states
+    if n == 1:
+        return np.ones(1)
+    # Transpose system: (P^T - I) pi^T = 0, replace last equation by 1^T pi = 1.
+    a = (chain.transition_matrix.T - sparse.identity(n, format="csr")).tolil()
+    a[n - 1, :] = np.ones(n)
+    b = np.zeros(n)
+    b[n - 1] = 1.0
+    try:
+        pi = sparse_linalg.spsolve(a.tocsr(), b)
+    except RuntimeError:  # pragma: no cover - singular corner cases
+        return power_iteration(chain)
+    pi = np.asarray(pi, dtype=np.float64)
+    # Clean tiny negative round-off and renormalize.
+    pi[pi < 0] = 0.0
+    total = pi.sum()
+    if not np.isfinite(total) or total <= 0:
+        return power_iteration(chain)
+    return pi / total
+
+
+def absorption_probabilities(chain: DTMC, targets: List[List[int]]) -> np.ndarray:
+    """Probability, per target class, of eventually being absorbed there.
+
+    ``targets`` is a list of disjoint absorbing classes (e.g. BSCCs).
+    Returns an array of shape ``(len(targets),)`` with the probability
+    of absorption into each class *from the initial distribution*.
+
+    Uses the fundamental-matrix formulation restricted to transient
+    states: ``(I - Q) x = R 1_class``.
+    """
+    n = chain.num_states
+    in_class = np.full(n, -1, dtype=np.int64)
+    for class_id, members in enumerate(targets):
+        for s in members:
+            in_class[s] = class_id
+    transient = np.where(in_class < 0)[0]
+    result = np.zeros(len(targets))
+    init = chain.initial_distribution
+
+    # Mass already starting inside a class.
+    for class_id, members in enumerate(targets):
+        result[class_id] += float(init[members].sum())
+
+    if transient.size == 0:
+        return result
+
+    matrix = chain.transition_matrix
+    sub = matrix[transient][:, transient]
+    identity = sparse.identity(transient.size, format="csr")
+    lhs = (identity - sub).tocsc()
+    lu = sparse_linalg.splu(lhs)
+    for class_id, members in enumerate(targets):
+        rhs = np.asarray(matrix[transient][:, members].sum(axis=1)).ravel()
+        if not rhs.any():
+            continue
+        absorbed = lu.solve(rhs)
+        result[class_id] += float(init[transient] @ absorbed)
+    return result
+
+
+def long_run_distribution(chain: DTMC) -> np.ndarray:
+    """Limiting average distribution of an arbitrary finite chain.
+
+    Decomposes into BSCCs, weighs each BSCC's stationary distribution
+    by the probability of absorption into it.  For aperiodic chains
+    this is also the limit of ``pi P^t``; for periodic ones it is the
+    Cesàro (time-average) limit, which is what long-run rewards need.
+    """
+    classes = bottom_sccs(chain)
+    weights = absorption_probabilities(chain, classes)
+    result = np.zeros(chain.num_states)
+    for members, weight in zip(classes, weights):
+        if weight <= 0.0:
+            continue
+        sub = chain.restricted_to(members)
+        # The appended sink is unreachable for a bottom class; drop it.
+        sub_matrix = sub.transition_matrix[: len(members), : len(members)]
+        sub_chain = DTMC(
+            sub_matrix,
+            np.full(len(members), 1.0 / len(members)),
+            validate=False,
+        )
+        pi = stationary_distribution(sub_chain)
+        for local, global_index in enumerate(members):
+            result[global_index] = weight * pi[local]
+    return result
+
+
+def long_run_reward(chain: DTMC, reward: str | np.ndarray) -> float:
+    """Long-run average reward ``R=? [ S ]`` (steady-state reward).
+
+    With the paper's 0/1 error flag this is exactly the BER.
+    """
+    vec = chain.reward_vector(reward) if isinstance(reward, str) else np.asarray(reward)
+    pi = long_run_distribution(chain)
+    return float(pi @ vec)
+
+
+def assert_ergodic(chain: DTMC) -> Tuple[bool, bool]:
+    """Return ``(irreducible, aperiodic)`` — the paper's steady-state
+    precondition check (Section III)."""
+    return is_irreducible(chain), is_aperiodic(chain)

@@ -1,0 +1,133 @@
+"""Transient (finite-horizon) analysis of DTMCs.
+
+Everything the bounded pCTL operators need: the state distribution
+after exactly ``t`` steps, expected instantaneous rewards (the paper's
+P2 / C1 metrics, ``R=? [I=T]``), cumulative rewards, and bounded
+reachability probabilities.
+
+All routines work with a *distribution row vector* ``pi`` and iterate
+``pi <- pi @ P`` with the sparse transition matrix; cost is
+``O(T * nnz(P))`` and no matrix powers are ever formed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from .chain import DTMC
+
+__all__ = [
+    "distribution_at",
+    "distribution_trajectory",
+    "instantaneous_reward",
+    "cumulative_reward",
+    "bounded_reachability",
+    "bounded_invariance",
+    "expected_visits",
+]
+
+
+def distribution_at(chain: DTMC, t: int, initial: Optional[np.ndarray] = None) -> np.ndarray:
+    """State distribution after exactly ``t`` transitions.
+
+    ``initial`` defaults to the chain's initial distribution.
+    """
+    if t < 0:
+        raise ValueError(f"time bound must be non-negative, got {t}")
+    pi = np.array(
+        chain.initial_distribution if initial is None else initial, dtype=np.float64
+    )
+    matrix = chain.transition_matrix
+    for _ in range(t):
+        pi = pi @ matrix
+    return pi
+
+
+def distribution_trajectory(
+    chain: DTMC, horizon: int, initial: Optional[np.ndarray] = None
+) -> Iterator[np.ndarray]:
+    """Yield the distribution at steps ``0, 1, ..., horizon`` lazily."""
+    pi = np.array(
+        chain.initial_distribution if initial is None else initial, dtype=np.float64
+    )
+    matrix = chain.transition_matrix
+    yield pi.copy()
+    for _ in range(horizon):
+        pi = pi @ matrix
+        yield pi.copy()
+
+
+def instantaneous_reward(chain: DTMC, reward: str | np.ndarray, t: int) -> float:
+    """Expected reward earned *at* step ``t``: ``R=? [ I=t ]``.
+
+    This is the paper's average-case metric P2 (and C1 for the
+    convergence model): with the 0/1 ``flag`` reward it is the
+    probability that the bit decoded at step ``t`` is in error, which
+    converges to the BER as ``t`` grows past the reachability fixpoint.
+    """
+    vec = chain.reward_vector(reward) if isinstance(reward, str) else np.asarray(reward)
+    pi = distribution_at(chain, t)
+    return float(pi @ vec)
+
+
+def cumulative_reward(chain: DTMC, reward: str | np.ndarray, t: int) -> float:
+    """Expected total reward accumulated over steps ``0 .. t-1``: ``R=? [ C<=t ]``."""
+    vec = chain.reward_vector(reward) if isinstance(reward, str) else np.asarray(reward)
+    total = 0.0
+    pi = np.array(chain.initial_distribution, dtype=np.float64)
+    matrix = chain.transition_matrix
+    for _ in range(t):
+        total += float(pi @ vec)
+        pi = pi @ matrix
+    return total
+
+
+def expected_visits(chain: DTMC, t: int) -> np.ndarray:
+    """Expected number of visits to each state during steps ``0 .. t``."""
+    visits = np.zeros(chain.num_states)
+    for pi in distribution_trajectory(chain, t):
+        visits += pi
+    return visits
+
+
+def bounded_reachability(
+    chain: DTMC, target: np.ndarray, t: int, avoid: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Per-state probability of reaching ``target`` within ``t`` steps.
+
+    Implements the bounded-until recurrence used by ``P=? [ F<=t phi ]``
+    and ``P=? [ psi U<=t phi ]``:
+
+    ``x_0 = [target]``;
+    ``x_{k+1} = [target] + [psi & !target] * (P @ x_k)``
+
+    ``avoid`` gives the complement of ``psi`` (states that must *not*
+    be passed through); by default every state may be traversed.
+    Returns the full solution vector; dot with an initial distribution
+    for the from-initial value.
+    """
+    target = np.asarray(target, dtype=bool)
+    n = chain.num_states
+    if avoid is None:
+        may_pass = ~target
+    else:
+        may_pass = ~target & ~np.asarray(avoid, dtype=bool)
+    x = target.astype(np.float64)
+    matrix = chain.transition_matrix
+    for _ in range(t):
+        x = np.where(target, 1.0, np.where(may_pass, matrix @ x, 0.0))
+    return x
+
+
+def bounded_invariance(chain: DTMC, safe: np.ndarray, t: int) -> np.ndarray:
+    """Per-state probability that ``safe`` holds at *every* step ``0 .. t``.
+
+    This is ``P=? [ G<=t phi ]`` — the paper's best-case metric P1 with
+    ``phi = !flag``.  Uses the duality ``G<=t phi == !(F<=t !phi)``.
+    """
+    safe = np.asarray(safe, dtype=bool)
+    violating = ~safe
+    reach_bad = bounded_reachability(chain, violating, t)
+    return 1.0 - reach_bad

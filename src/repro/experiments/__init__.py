@@ -1,0 +1,10 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Each module exposes ``run(...)`` returning structured results and
+``main(...)`` printing a paper-style report with the reference values
+alongside.  ``python -m repro.experiments`` runs everything.
+"""
+
+from . import figure2, table1, table2, table3, table4, table5
+
+__all__ = ["figure2", "table1", "table2", "table3", "table4", "table5"]

@@ -1,0 +1,46 @@
+"""Small reporting helpers shared by the experiment drivers.
+
+Each experiment prints a table shaped like the one in the paper, plus
+the paper's reference values alongside the measured ones so the
+comparison EXPERIMENTS.md records is visible at the terminal too.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+__all__ = ["format_table", "format_value", "banner"]
+
+
+def format_value(value: Any) -> str:
+    """Render numbers compactly: scientific for extremes, plain otherwise."""
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) < 1e-3 or abs(value) >= 1e5:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """ASCII table with per-column alignment."""
+    rendered = [[format_value(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    header = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def banner(title: str) -> str:
+    """Section banner used by every experiment driver."""
+    rule = "=" * len(title)
+    return f"{rule}\n{title}\n{rule}"

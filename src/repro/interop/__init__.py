@@ -1,0 +1,22 @@
+"""Interoperability with external tools (PRISM explicit formats and
+language source)."""
+
+from .prism import (
+    from_prism_explicit,
+    module_to_prism,
+    render_expr,
+    to_prism_lab,
+    to_prism_srew,
+    to_prism_tra,
+    write_prism_files,
+)
+
+__all__ = [
+    "from_prism_explicit",
+    "module_to_prism",
+    "render_expr",
+    "to_prism_lab",
+    "to_prism_srew",
+    "to_prism_tra",
+    "write_prism_files",
+]

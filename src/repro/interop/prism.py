@@ -1,0 +1,285 @@
+"""Interoperability with PRISM, the paper's model checker.
+
+Two bridges:
+
+* **Explicit-state files** — export any :class:`~repro.dtmc.chain.DTMC`
+  to PRISM's documented explicit import format (``.tra`` transition
+  list, ``.lab`` label file, ``.srew`` state rewards) and re-import it.
+  This lets a user with a real PRISM installation re-check any model
+  this library builds (``prism -importtrans m.tra -importlabels m.lab
+  ...``), closing the loop with the paper's actual tool.
+* **Language source** — render a :class:`~repro.prog.model.Module` as a
+  PRISM-language ``dtmc`` model, so guarded-command models written with
+  :mod:`repro.prog` can be opened in the PRISM GUI unchanged.
+
+The exporters and the importer are exact inverses on the supported
+fragment, which the test suite verifies by round-trip.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from ..dtmc.chain import DTMC
+from ..prog.expr import BinOp, Const, Expr, Ite, UnaryOp, Var
+from ..prog.model import Module
+
+__all__ = [
+    "to_prism_tra",
+    "to_prism_lab",
+    "to_prism_srew",
+    "from_prism_explicit",
+    "write_prism_files",
+    "module_to_prism",
+    "render_expr",
+]
+
+
+# ----------------------------------------------------------------------
+# Explicit-state export
+# ----------------------------------------------------------------------
+def to_prism_tra(chain: DTMC) -> str:
+    """Render the transition matrix in PRISM ``.tra`` format.
+
+    First line: ``<states> <transitions>``; then one ``src dst prob``
+    line per transition, row-major.
+    """
+    matrix = chain.transition_matrix.tocoo()
+    lines = [f"{chain.num_states} {matrix.nnz}"]
+    order = np.lexsort((matrix.col, matrix.row))
+    for k in order:
+        lines.append(
+            f"{int(matrix.row[k])} {int(matrix.col[k])} {float(matrix.data[k])!r}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def to_prism_lab(chain: DTMC) -> str:
+    """Render labels in PRISM ``.lab`` format.
+
+    Header line assigns ids to label names (``init`` is id 0, as PRISM
+    requires); body lines are ``state: id id ...`` for states with at
+    least one label.
+    """
+    names = sorted(chain.labels)
+    header_parts = ['0="init"'] + [
+        f'{i + 1}="{name}"' for i, name in enumerate(names)
+    ]
+    lines = [" ".join(header_parts)]
+    initial = set(chain.initial_states())
+    for state in range(chain.num_states):
+        ids: List[int] = []
+        if state in initial:
+            ids.append(0)
+        for i, name in enumerate(names):
+            if chain.labels[name][state]:
+                ids.append(i + 1)
+        if ids:
+            lines.append(f"{state}: " + " ".join(str(i) for i in ids))
+    return "\n".join(lines) + "\n"
+
+
+def to_prism_srew(chain: DTMC, reward: str) -> str:
+    """Render one state-reward structure in PRISM ``.srew`` format.
+
+    First line: ``<states> <nonzero lines>``; then ``state reward``.
+    """
+    vector = chain.reward_vector(reward)
+    nonzero = [
+        (state, value) for state, value in enumerate(vector) if value != 0.0
+    ]
+    lines = [f"{chain.num_states} {len(nonzero)}"]
+    for state, value in nonzero:
+        lines.append(f"{state} {float(value)!r}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prism_files(
+    chain: DTMC, basename: str, rewards: Optional[List[str]] = None
+) -> List[str]:
+    """Write ``.tra``/``.lab`` (+ one ``.srew`` per reward) files.
+
+    Returns the list of paths written.  ``rewards`` defaults to all of
+    the chain's reward structures.
+    """
+    paths = []
+    tra_path = f"{basename}.tra"
+    with open(tra_path, "w") as handle:
+        handle.write(to_prism_tra(chain))
+    paths.append(tra_path)
+    lab_path = f"{basename}.lab"
+    with open(lab_path, "w") as handle:
+        handle.write(to_prism_lab(chain))
+    paths.append(lab_path)
+    for name in rewards if rewards is not None else sorted(chain.rewards):
+        srew_path = f"{basename}.{name}.srew"
+        with open(srew_path, "w") as handle:
+            handle.write(to_prism_srew(chain, name))
+        paths.append(srew_path)
+    return paths
+
+
+# ----------------------------------------------------------------------
+# Explicit-state import
+# ----------------------------------------------------------------------
+def from_prism_explicit(
+    tra_text: str,
+    lab_text: Optional[str] = None,
+    srew_texts: Optional[Mapping[str, str]] = None,
+) -> DTMC:
+    """Parse PRISM explicit files back into a :class:`DTMC`.
+
+    The initial state is taken from the ``init`` label (uniform over
+    all init-labeled states); defaults to state 0 when no label file is
+    given.
+    """
+    tra_lines = [line for line in tra_text.splitlines() if line.strip()]
+    header = tra_lines[0].split()
+    num_states, num_transitions = int(header[0]), int(header[1])
+    rows: List[int] = []
+    cols: List[int] = []
+    vals: List[float] = []
+    for line in tra_lines[1 : 1 + num_transitions]:
+        src, dst, prob = line.split()
+        rows.append(int(src))
+        cols.append(int(dst))
+        vals.append(float(prob))
+    matrix = sparse.csr_matrix(
+        (vals, (rows, cols)), shape=(num_states, num_states)
+    )
+
+    labels: Dict[str, np.ndarray] = {}
+    init_states = [0]
+    if lab_text is not None:
+        lab_lines = [line for line in lab_text.splitlines() if line.strip()]
+        id_to_name: Dict[int, str] = {}
+        for part in lab_lines[0].split():
+            label_id, quoted = part.split("=")
+            id_to_name[int(label_id)] = quoted.strip('"')
+        vectors = {
+            name: np.zeros(num_states, dtype=bool)
+            for name in id_to_name.values()
+        }
+        for line in lab_lines[1:]:
+            state_text, ids_text = line.split(":")
+            state = int(state_text)
+            for label_id in ids_text.split():
+                vectors[id_to_name[int(label_id)]][state] = True
+        init_vector = vectors.pop("init", None)
+        if init_vector is not None and init_vector.any():
+            init_states = np.nonzero(init_vector)[0].tolist()
+        labels = vectors
+
+    initial = np.zeros(num_states)
+    initial[init_states] = 1.0 / len(init_states)
+
+    rewards: Dict[str, np.ndarray] = {}
+    for name, text in (srew_texts or {}).items():
+        srew_lines = [line for line in text.splitlines() if line.strip()]
+        vector = np.zeros(num_states)
+        for line in srew_lines[1:]:
+            state, value = line.split()
+            vector[int(state)] = float(value)
+        rewards[name] = vector
+
+    return DTMC(matrix, initial, labels=labels, rewards=rewards)
+
+
+# ----------------------------------------------------------------------
+# Guarded-command language export
+# ----------------------------------------------------------------------
+_PRISM_BINOP = {
+    "+": "+",
+    "-": "-",
+    "*": "*",
+    "=": "=",
+    "!=": "!=",
+    "<": "<",
+    "<=": "<=",
+    ">": ">",
+    ">=": ">=",
+    "&": "&",
+    "|": "|",
+}
+
+
+def render_expr(expr: Expr) -> str:
+    """Render an expression tree in PRISM's expression syntax."""
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, Const):
+        value = expr.value
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        return repr(value)
+    if isinstance(expr, Ite):
+        return (
+            f"({render_expr(expr.condition)} ? {render_expr(expr.then)}"
+            f" : {render_expr(expr.otherwise)})"
+        )
+    if isinstance(expr, UnaryOp):
+        if expr.symbol == "!":
+            return f"!({render_expr(expr.operand)})"
+        raise ValueError(f"cannot render unary operator {expr.symbol!r}")
+    if isinstance(expr, BinOp):
+        if expr.symbol in ("min", "max"):
+            return (
+                f"{expr.symbol}({render_expr(expr.left)},"
+                f" {render_expr(expr.right)})"
+            )
+        symbol = _PRISM_BINOP.get(expr.symbol)
+        if symbol is None:
+            raise ValueError(f"cannot render operator {expr.symbol!r}")
+        return f"({render_expr(expr.left)} {symbol} {render_expr(expr.right)})"
+    raise ValueError(f"cannot render expression {expr!r}")
+
+
+def module_to_prism(module: Module) -> str:
+    """Render a :class:`Module` as PRISM-language source.
+
+    Integer variables become ranged ``[lo..hi]`` declarations; boolean
+    variables become ``bool``.  Enumerated domains must be contiguous
+    integers (PRISM has no enum type).
+    """
+    lines = ["dtmc", "", f"module {module.name}"]
+    for decl in module.variables.values():
+        if set(decl.domain) == {False, True}:
+            init = "true" if decl.init else "false"
+            lines.append(f"  {decl.name} : bool init {init};")
+            continue
+        values = sorted(decl.domain)
+        contiguous = all(
+            isinstance(v, int) and v == values[0] + i
+            for i, v in enumerate(values)
+        )
+        if not contiguous:
+            raise ValueError(
+                f"variable {decl.name!r} has a non-contiguous domain;"
+                " PRISM needs [lo..hi]"
+            )
+        lines.append(
+            f"  {decl.name} : [{values[0]}..{values[-1]}] init {decl.init};"
+        )
+    lines.append("")
+    for command in module.commands:
+        updates = []
+        for probability, assignment in command.updates:
+            if assignment:
+                effects = " & ".join(
+                    f"({name}'={render_expr(expr)})"
+                    for name, expr in assignment.items()
+                )
+            else:
+                effects = "true"
+            updates.append(f"{render_expr(probability)} : {effects}")
+        label = f"// {command.label}" if command.label else ""
+        lines.append(
+            f"  [] {render_expr(command.guard)} -> "
+            + " + ".join(updates)
+            + f"; {label}".rstrip()
+        )
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

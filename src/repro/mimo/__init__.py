@@ -1,0 +1,54 @@
+"""MIMO detector case study: ML detection, DTMC model, symmetry reduction."""
+
+from .detector import (
+    QuantizedMLDetector,
+    block_metrics,
+    bpsk_candidates,
+    ml_detect,
+    ml_detect_batch,
+)
+from .dtmc_model import (
+    MimoState,
+    block_alphabet,
+    block_values,
+    build_detector_model,
+    full_state_count,
+    reduced_state_count,
+    step_distribution_full,
+    step_distribution_reduced,
+)
+from .mimo2x2 import (
+    Mimo2x2State,
+    block_alphabet_2tx,
+    build_detector_model_2tx,
+    detect_pair_from_blocks,
+    full_state_count_2tx,
+    reduced_state_count_2tx,
+    step_distribution_2tx,
+)
+from .system import FADING_SIGMA, MimoSystemConfig
+
+__all__ = [
+    "QuantizedMLDetector",
+    "block_metrics",
+    "bpsk_candidates",
+    "ml_detect",
+    "ml_detect_batch",
+    "MimoState",
+    "block_alphabet",
+    "block_values",
+    "build_detector_model",
+    "full_state_count",
+    "reduced_state_count",
+    "step_distribution_full",
+    "step_distribution_reduced",
+    "FADING_SIGMA",
+    "MimoSystemConfig",
+    "Mimo2x2State",
+    "block_alphabet_2tx",
+    "build_detector_model_2tx",
+    "detect_pair_from_blocks",
+    "full_state_count_2tx",
+    "reduced_state_count_2tx",
+    "step_distribution_2tx",
+]

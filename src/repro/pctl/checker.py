@@ -1,0 +1,469 @@
+"""pCTL model checker over explicit-state DTMCs.
+
+Implements the standard algorithms (Hansson & Jonsson; Baier & Katoen,
+*Principles of Model Checking*, ch. 10):
+
+* bounded operators by iterated sparse matrix-vector products,
+* unbounded until via the Prob0/Prob1 graph precomputations plus a
+  sparse linear solve on the remaining states,
+* instantaneous / cumulative / long-run rewards via the transient and
+  steady-state solvers of :mod:`repro.dtmc`,
+* reachability rewards with the standard infinite-value treatment for
+  states that do not reach the target almost surely.
+
+The public entry point is :func:`check` (or the :class:`ModelChecker`
+class when several properties are checked against one chain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Sequence, Union
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse import linalg as sparse_linalg
+
+from ..dtmc import DTMC
+from ..dtmc.graph import backward_reachable
+from ..dtmc.steady_state import long_run_distribution
+from ..dtmc.transient import (
+    bounded_invariance,
+    bounded_reachability,
+    cumulative_reward,
+    distribution_at,
+    instantaneous_reward,
+)
+from .ast import (
+    And,
+    Bound,
+    Cumulative,
+    Eventually,
+    FalseFormula,
+    Globally,
+    Implies,
+    Instantaneous,
+    Label,
+    LongRunReward,
+    Next,
+    Not,
+    Or,
+    PathFormula,
+    ProbQuery,
+    ReachReward,
+    RewardPath,
+    RewardQuery,
+    StateFormula,
+    SteadyQuery,
+    TrueFormula,
+    Until,
+    VarComparison,
+    WeakUntil,
+)
+from .parser import parse_formula
+
+__all__ = ["CheckResult", "ModelChecker", "check", "PctlSemanticsError"]
+
+
+class PctlSemanticsError(ValueError):
+    """Raised when a formula cannot be interpreted over the given chain."""
+
+
+@dataclass
+class CheckResult:
+    """Result of checking one property.
+
+    Attributes
+    ----------
+    formula:
+        The checked formula (parsed AST).
+    value:
+        The result *from the initial distribution*: a probability or
+        expected reward for ``=?`` queries, a bool for bounded
+        operators.
+    vector:
+        Per-state values: probabilities/rewards (float array) for
+        queries, satisfaction (bool array) for boolean formulas.
+    """
+
+    formula: StateFormula
+    value: Union[float, bool]
+    vector: np.ndarray
+
+    def __float__(self) -> float:
+        return float(self.value)
+
+    def __bool__(self) -> bool:
+        if isinstance(self.value, (bool, np.bool_)):
+            return bool(self.value)
+        raise TypeError(
+            "numeric query result; compare .value explicitly instead"
+        )
+
+
+class ModelChecker:
+    """Checks pCTL properties against one DTMC.
+
+    Parameters
+    ----------
+    chain:
+        The model.  Labels referenced by formulas must either exist on
+        the chain or be resolvable as state-variable lookups (states
+        that are mappings or have named attributes, e.g. namedtuples).
+    """
+
+    def __init__(self, chain: DTMC) -> None:
+        self.chain = chain
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def check(self, formula: Union[str, StateFormula]) -> CheckResult:
+        """Check ``formula`` and return the result from the initial states."""
+        if isinstance(formula, str):
+            formula = parse_formula(formula)
+        if isinstance(formula, ProbQuery):
+            vector = self.path_probability(formula.path)
+            return self._finish_query(formula, vector, formula.bound)
+        if isinstance(formula, SteadyQuery):
+            vector = self._steady_vector(formula.formula)
+            return self._finish_query(formula, vector, formula.bound)
+        if isinstance(formula, RewardQuery):
+            vector = self.reward_value(formula.path, formula.reward)
+            return self._finish_query(formula, vector, formula.bound)
+        sat = self.satisfaction(formula)
+        init = self.chain.initial_states()
+        value = bool(all(sat[i] for i in init))
+        return CheckResult(formula, value, sat)
+
+    def _finish_query(
+        self, formula: StateFormula, vector: np.ndarray, bound: Bound
+    ) -> CheckResult:
+        # Restrict to supported initial states so that infinite rewards on
+        # unreachable states do not produce inf * 0 = nan.
+        init = self.chain.initial_distribution
+        mask = init > 0
+        initial_value = float(vector[mask] @ init[mask])
+        if bound.is_query():
+            return CheckResult(formula, initial_value, vector)
+        return CheckResult(formula, bound.holds(initial_value), vector)
+
+    # ------------------------------------------------------------------
+    # State formulas -> boolean satisfaction vectors
+    # ------------------------------------------------------------------
+    def satisfaction(self, formula: StateFormula) -> np.ndarray:
+        """Boolean satisfaction vector of a state formula."""
+        chain = self.chain
+        if isinstance(formula, TrueFormula):
+            return np.ones(chain.num_states, dtype=bool)
+        if isinstance(formula, FalseFormula):
+            return np.zeros(chain.num_states, dtype=bool)
+        if isinstance(formula, Label):
+            return self._atom_vector(formula.name)
+        if isinstance(formula, VarComparison):
+            values = self._variable_values(formula.name)
+            return np.fromiter(
+                (formula.evaluate(v) for v in values),
+                dtype=bool,
+                count=chain.num_states,
+            )
+        if isinstance(formula, Not):
+            return ~self.satisfaction(formula.operand)
+        if isinstance(formula, And):
+            return self.satisfaction(formula.left) & self.satisfaction(formula.right)
+        if isinstance(formula, Or):
+            return self.satisfaction(formula.left) | self.satisfaction(formula.right)
+        if isinstance(formula, Implies):
+            return ~self.satisfaction(formula.left) | self.satisfaction(formula.right)
+        if isinstance(formula, ProbQuery):
+            if formula.bound.is_query():
+                raise PctlSemanticsError(
+                    "'=?' query used as a nested state formula; give it a bound"
+                )
+            vector = self.path_probability(formula.path)
+            return self._bound_vector(vector, formula.bound)
+        if isinstance(formula, SteadyQuery):
+            if formula.bound.is_query():
+                raise PctlSemanticsError(
+                    "'=?' query used as a nested state formula; give it a bound"
+                )
+            vector = self._steady_vector(formula.formula)
+            return self._bound_vector(vector, formula.bound)
+        if isinstance(formula, RewardQuery):
+            if formula.bound.is_query():
+                raise PctlSemanticsError(
+                    "'=?' query used as a nested state formula; give it a bound"
+                )
+            vector = self.reward_value(formula.path, formula.reward)
+            return self._bound_vector(vector, formula.bound)
+        raise PctlSemanticsError(f"unsupported state formula {formula!r}")
+
+    @staticmethod
+    def _bound_vector(vector: np.ndarray, bound: Bound) -> np.ndarray:
+        ops = {
+            "<=": vector <= bound.threshold,
+            "<": vector < bound.threshold,
+            ">=": vector >= bound.threshold,
+            ">": vector > bound.threshold,
+            "=": vector == bound.threshold,
+        }
+        return ops[bound.op]
+
+    def _atom_vector(self, name: str) -> np.ndarray:
+        chain = self.chain
+        if name in chain.labels:
+            return chain.label_vector(name)
+        # Fall back to a boolean state variable.
+        values = self._variable_values(name)
+        return np.fromiter(
+            (bool(v) for v in values), dtype=bool, count=chain.num_states
+        )
+
+    def _variable_values(self, name: str) -> Sequence[Any]:
+        chain = self.chain
+        if chain.states is None:
+            raise PctlSemanticsError(
+                f"{name!r} is not a label and the chain carries no state"
+                " objects to look it up on"
+            )
+        probe = chain.states[0]
+        if isinstance(probe, Mapping):
+            getter = lambda s: s[name]  # noqa: E731
+        elif hasattr(probe, name):
+            getter = lambda s: getattr(s, name)  # noqa: E731
+        else:
+            raise PctlSemanticsError(
+                f"cannot resolve atom {name!r}: not a chain label and not a"
+                f" state variable of {type(probe).__name__}"
+            )
+        try:
+            return [getter(s) for s in chain.states]
+        except (KeyError, AttributeError) as exc:
+            raise PctlSemanticsError(
+                f"state variable {name!r} missing on some states"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # Path formulas -> per-state probability vectors
+    # ------------------------------------------------------------------
+    def path_probability(self, path: PathFormula) -> np.ndarray:
+        chain = self.chain
+        if isinstance(path, Next):
+            target = self.satisfaction(path.operand).astype(np.float64)
+            return chain.transition_matrix @ target
+        if isinstance(path, Eventually):
+            return self._until(
+                np.ones(chain.num_states, dtype=bool),
+                self.satisfaction(path.operand),
+                path.bound,
+                lower=path.lower,
+            )
+        if isinstance(path, Globally):
+            # G[a,b] f == !(F[a,b] !f)
+            inner = self.satisfaction(path.operand)
+            if path.lower == 0 and path.bound is not None:
+                return bounded_invariance(chain, inner, path.bound)
+            reach_bad = self._until(
+                np.ones(chain.num_states, dtype=bool),
+                ~inner,
+                path.bound,
+                lower=path.lower,
+            )
+            return 1.0 - reach_bad
+        if isinstance(path, Until):
+            return self._until(
+                self.satisfaction(path.left),
+                self.satisfaction(path.right),
+                path.bound,
+                lower=path.lower,
+            )
+        if isinstance(path, WeakUntil):
+            # left W right  ==  !((left & !right) U (!left & !right)):
+            # the only way to violate it is to leave `left` before
+            # `right` has occurred.
+            left = self.satisfaction(path.left)
+            right = self.satisfaction(path.right)
+            violate = self._until(left & ~right, ~left & ~right, path.bound)
+            return 1.0 - violate
+        raise PctlSemanticsError(f"unsupported path formula {path!r}")
+
+    def _until(
+        self,
+        left: np.ndarray,
+        right: np.ndarray,
+        bound: Optional[int],
+        lower: int = 0,
+    ) -> np.ndarray:
+        """``P(left U[lower, bound] right)`` per state.
+
+        For a positive ``lower``, the window phase (a standard bounded
+        or unbounded until over the remaining horizon) is prefixed by
+        ``lower`` "ramp" steps during which the path must stay inside
+        ``left`` and ``right`` does not yet count.
+        """
+        chain = self.chain
+        if bound is not None and lower > bound:
+            raise PctlSemanticsError(
+                f"empty step window [{lower},{bound}]"
+            )
+        if bound is not None:
+            window = bounded_reachability(
+                chain, right, bound - lower, avoid=~left
+            )
+        else:
+            window = self._unbounded_until(left, right)
+        if lower == 0:
+            return window
+        value = window
+        matrix = chain.transition_matrix
+        left_f = left.astype(np.float64)
+        for _ in range(lower):
+            value = left_f * (matrix @ value)
+        return value
+
+    def _unbounded_until(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        """P(left U right) via Prob0/Prob1 + sparse linear solve."""
+        chain = self.chain
+        n = chain.num_states
+        target_states = np.nonzero(right)[0]
+
+        # Prob0: states that cannot reach `right` along `left`-paths.
+        can_reach = self._constrained_backward(target_states, left & ~right)
+        prob0 = np.ones(n, dtype=bool)
+        prob0[list(can_reach)] = False
+
+        # Prob1 = complement of states that, staying within left&!right,
+        # can reach a Prob0 state (Baier & Katoen, Lemma 10.16).
+        prob0_states = np.nonzero(prob0)[0]
+        can_fail = self._constrained_backward(prob0_states, left & ~right)
+        prob1 = np.zeros(n, dtype=bool)
+        prob1[:] = True
+        prob1[list(can_fail)] = False
+        prob1[prob0_states] = False
+        prob1 |= right  # target states trivially satisfy
+
+        result = np.zeros(n)
+        result[prob1] = 1.0
+
+        unknown = np.nonzero(~prob0 & ~prob1)[0]
+        if unknown.size:
+            matrix = chain.transition_matrix
+            sub = matrix[unknown][:, unknown]
+            rhs = np.asarray(
+                matrix[unknown][:, np.nonzero(prob1)[0]].sum(axis=1)
+            ).ravel()
+            identity = sparse.identity(unknown.size, format="csr")
+            solution = sparse_linalg.spsolve((identity - sub).tocsc(), rhs)
+            result[unknown] = np.clip(np.atleast_1d(solution), 0.0, 1.0)
+        return result
+
+    def _constrained_backward(
+        self, targets: np.ndarray, through: np.ndarray
+    ) -> set:
+        """States that can reach ``targets`` moving only through ``through``
+        states (the targets themselves need not satisfy ``through``)."""
+        chain = self.chain
+        transpose = chain.transition_matrix.tocsc()
+        indptr, indices = transpose.indptr, transpose.indices
+        seen = set(int(t) for t in targets)
+        frontier = list(seen)
+        while frontier:
+            next_frontier = []
+            for u in frontier:
+                for v in indices[indptr[u] : indptr[u + 1]]:
+                    v = int(v)
+                    if v not in seen and through[v]:
+                        seen.add(v)
+                        next_frontier.append(v)
+            frontier = next_frontier
+        return seen
+
+    # ------------------------------------------------------------------
+    # Steady-state operator
+    # ------------------------------------------------------------------
+    def _steady_vector(self, formula: StateFormula) -> np.ndarray:
+        """``S=? [f]``: long-run probability of residing in ``f`` states.
+
+        For the (common) single-BSCC case this is independent of the
+        start state; in general it is computed from the chain's initial
+        distribution, so the per-state vector is constant.
+        """
+        sat = self.satisfaction(formula)
+        pi = long_run_distribution(self.chain)
+        value = float(pi @ sat.astype(np.float64))
+        return np.full(self.chain.num_states, value)
+
+    # ------------------------------------------------------------------
+    # Reward operators
+    # ------------------------------------------------------------------
+    def _reward_vector(self, name: Optional[str]) -> np.ndarray:
+        chain = self.chain
+        if name is not None:
+            return chain.reward_vector(name)
+        if len(chain.rewards) == 1:
+            return next(iter(chain.rewards.values()))
+        raise PctlSemanticsError(
+            f"chain has {len(chain.rewards)} reward structures; name one with"
+            ' R{"name"}=? [...]'
+        )
+
+    def reward_value(self, path: RewardPath, reward: Optional[str]) -> np.ndarray:
+        chain = self.chain
+        rho = self._reward_vector(reward)
+        if isinstance(path, Instantaneous):
+            # Per-state vector: expected reward t steps after starting there.
+            pi_t = rho.copy()
+            matrix = chain.transition_matrix
+            for _ in range(path.time):
+                pi_t = matrix @ pi_t
+            return pi_t
+        if isinstance(path, Cumulative):
+            total = np.zeros(chain.num_states)
+            current = rho.copy()
+            matrix = chain.transition_matrix
+            for _ in range(path.time):
+                total += current
+                current = matrix @ current
+            return total
+        if isinstance(path, LongRunReward):
+            pi = long_run_distribution(chain)
+            value = float(pi @ rho)
+            return np.full(chain.num_states, value)
+        if isinstance(path, ReachReward):
+            return self._reachability_reward(rho, self.satisfaction(path.target))
+        raise PctlSemanticsError(f"unsupported reward path {path!r}")
+
+    def _reachability_reward(
+        self, rho: np.ndarray, target: np.ndarray
+    ) -> np.ndarray:
+        """``R=? [F target]`` with the standard infinity semantics."""
+        chain = self.chain
+        n = chain.num_states
+        reach = self._unbounded_until(np.ones(n, dtype=bool), target)
+        finite = reach >= 1.0 - 1e-12
+        result = np.full(n, np.inf)
+        result[target] = 0.0
+        solve_states = np.nonzero(finite & ~target)[0]
+        if solve_states.size:
+            matrix = chain.transition_matrix
+            sub = matrix[solve_states][:, solve_states]
+            identity = sparse.identity(solve_states.size, format="csr")
+            rhs = rho[solve_states]
+            solution = sparse_linalg.spsolve((identity - sub).tocsc(), rhs)
+            result[solve_states] = np.atleast_1d(solution)
+        return result
+
+
+def check(chain: DTMC, formula: Union[str, StateFormula]) -> CheckResult:
+    """Check one pCTL property against ``chain``.
+
+    Convenience wrapper around :class:`ModelChecker`:
+
+    >>> from repro.dtmc import dtmc_from_dict
+    >>> chain = dtmc_from_dict(
+    ...     {"a": {"a": 0.5, "b": 0.5}, "b": {"b": 1.0}},
+    ...     initial="a", labels={"done": ["b"]})
+    >>> check(chain, "P=? [ F<=2 done ]").value
+    0.75
+    """
+    return ModelChecker(chain).check(formula)

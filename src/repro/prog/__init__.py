@@ -1,0 +1,28 @@
+"""Guarded-command probabilistic modeling language (PRISM-like).
+
+Declare finite-domain variables and guarded probabilistic commands,
+then explore the module into an explicit DTMC.  This is the layer at
+which RTL blocks are written down: one clock cycle = one command
+firing.
+"""
+
+from .expr import Const, Expr, Var, as_expr, ite, maximum, minimum
+from .model import Command, ModelError, Module, VariableDecl
+from .semantics import CompiledModule, compile_module, explore_module
+
+__all__ = [
+    "Const",
+    "Expr",
+    "Var",
+    "as_expr",
+    "ite",
+    "maximum",
+    "minimum",
+    "Command",
+    "ModelError",
+    "Module",
+    "VariableDecl",
+    "CompiledModule",
+    "compile_module",
+    "explore_module",
+]

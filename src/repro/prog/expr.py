@@ -1,0 +1,215 @@
+"""Expression mini-language for guarded-command models.
+
+Expressions are small ASTs over named state variables, built with
+overloaded Python operators so models read naturally::
+
+    pm0, pm1 = Var("pm0"), Var("pm1")
+    guard = (pm0 <= pm1) & (pm0 > 0)
+    update = ite(pm0 < 7, pm0 + 1, Const(7))
+
+They evaluate against an environment mapping variable names to values.
+Comparisons yield booleans; ``&``, ``|``, ``~`` are logical (not
+bitwise) on boolean operands, mirroring PRISM's expression language.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Mapping, Tuple, Union
+
+__all__ = ["Expr", "Var", "Const", "ite", "minimum", "maximum", "as_expr"]
+
+Env = Mapping[str, Any]
+
+
+class Expr:
+    """Base class for expressions; subclasses implement ``evaluate``."""
+
+    def evaluate(self, env: Env) -> Any:
+        raise NotImplementedError
+
+    def variables(self) -> frozenset:
+        raise NotImplementedError
+
+    # -- arithmetic ----------------------------------------------------
+    def __add__(self, other: Any) -> "Expr":
+        return BinOp("+", operator.add, self, as_expr(other))
+
+    def __radd__(self, other: Any) -> "Expr":
+        return BinOp("+", operator.add, as_expr(other), self)
+
+    def __sub__(self, other: Any) -> "Expr":
+        return BinOp("-", operator.sub, self, as_expr(other))
+
+    def __rsub__(self, other: Any) -> "Expr":
+        return BinOp("-", operator.sub, as_expr(other), self)
+
+    def __mul__(self, other: Any) -> "Expr":
+        return BinOp("*", operator.mul, self, as_expr(other))
+
+    def __rmul__(self, other: Any) -> "Expr":
+        return BinOp("*", operator.mul, as_expr(other), self)
+
+    def __mod__(self, other: Any) -> "Expr":
+        return BinOp("%", operator.mod, self, as_expr(other))
+
+    def __floordiv__(self, other: Any) -> "Expr":
+        return BinOp("//", operator.floordiv, self, as_expr(other))
+
+    def __neg__(self) -> "Expr":
+        return BinOp("-", operator.sub, Const(0), self)
+
+    # -- comparisons -----------------------------------------------------
+    def __eq__(self, other: Any) -> "Expr":  # type: ignore[override]
+        return BinOp("=", operator.eq, self, as_expr(other))
+
+    def __ne__(self, other: Any) -> "Expr":  # type: ignore[override]
+        return BinOp("!=", operator.ne, self, as_expr(other))
+
+    def __lt__(self, other: Any) -> "Expr":
+        return BinOp("<", operator.lt, self, as_expr(other))
+
+    def __le__(self, other: Any) -> "Expr":
+        return BinOp("<=", operator.le, self, as_expr(other))
+
+    def __gt__(self, other: Any) -> "Expr":
+        return BinOp(">", operator.gt, self, as_expr(other))
+
+    def __ge__(self, other: Any) -> "Expr":
+        return BinOp(">=", operator.ge, self, as_expr(other))
+
+    # -- logic ----------------------------------------------------------
+    def __and__(self, other: Any) -> "Expr":
+        return BinOp("&", lambda a, b: bool(a) and bool(b), self, as_expr(other))
+
+    def __rand__(self, other: Any) -> "Expr":
+        return BinOp("&", lambda a, b: bool(a) and bool(b), as_expr(other), self)
+
+    def __or__(self, other: Any) -> "Expr":
+        return BinOp("|", lambda a, b: bool(a) or bool(b), self, as_expr(other))
+
+    def __ror__(self, other: Any) -> "Expr":
+        return BinOp("|", lambda a, b: bool(a) or bool(b), as_expr(other), self)
+
+    def __invert__(self) -> "Expr":
+        return UnaryOp("!", lambda a: not bool(a), self)
+
+    # Expressions are structural values; hashing by identity keeps them
+    # usable as dict keys in assignment mappings.
+    def __hash__(self) -> int:  # type: ignore[override]
+        return id(self)
+
+
+@dataclass(frozen=True, eq=False)
+class Var(Expr):
+    """Reference to a state variable by name."""
+
+    name: str
+
+    def evaluate(self, env: Env) -> Any:
+        try:
+            return env[self.name]
+        except KeyError:
+            raise NameError(f"unknown variable {self.name!r}") from None
+
+    def variables(self) -> frozenset:
+        return frozenset((self.name,))
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, eq=False)
+class Const(Expr):
+    """Literal constant."""
+
+    value: Any
+
+    def evaluate(self, env: Env) -> Any:
+        return self.value
+
+    def variables(self) -> frozenset:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+class BinOp(Expr):
+    def __init__(self, symbol: str, fn: Callable[[Any, Any], Any], left: Expr, right: Expr):
+        self.symbol = symbol
+        self.fn = fn
+        self.left = left
+        self.right = right
+
+    def evaluate(self, env: Env) -> Any:
+        return self.fn(self.left.evaluate(env), self.right.evaluate(env))
+
+    def variables(self) -> frozenset:
+        return self.left.variables() | self.right.variables()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.symbol} {self.right!r})"
+
+
+class UnaryOp(Expr):
+    def __init__(self, symbol: str, fn: Callable[[Any], Any], operand: Expr):
+        self.symbol = symbol
+        self.fn = fn
+        self.operand = operand
+
+    def evaluate(self, env: Env) -> Any:
+        return self.fn(self.operand.evaluate(env))
+
+    def variables(self) -> frozenset:
+        return self.operand.variables()
+
+    def __repr__(self) -> str:
+        return f"{self.symbol}{self.operand!r}"
+
+
+class Ite(Expr):
+    """If-then-else expression (PRISM's ``cond ? a : b``)."""
+
+    def __init__(self, condition: Expr, then: Expr, otherwise: Expr):
+        self.condition = condition
+        self.then = then
+        self.otherwise = otherwise
+
+    def evaluate(self, env: Env) -> Any:
+        if self.condition.evaluate(env):
+            return self.then.evaluate(env)
+        return self.otherwise.evaluate(env)
+
+    def variables(self) -> frozenset:
+        return (
+            self.condition.variables()
+            | self.then.variables()
+            | self.otherwise.variables()
+        )
+
+    def __repr__(self) -> str:
+        return f"({self.condition!r} ? {self.then!r} : {self.otherwise!r})"
+
+
+def as_expr(value: Any) -> Expr:
+    """Lift a Python value to an expression (identity on expressions)."""
+    if isinstance(value, Expr):
+        return value
+    return Const(value)
+
+
+def ite(condition: Any, then: Any, otherwise: Any) -> Expr:
+    """If-then-else: ``ite(c, a, b)`` evaluates ``a`` if ``c`` holds else ``b``."""
+    return Ite(as_expr(condition), as_expr(then), as_expr(otherwise))
+
+
+def minimum(left: Any, right: Any) -> Expr:
+    """Pointwise minimum of two expressions."""
+    return BinOp("min", min, as_expr(left), as_expr(right))
+
+
+def maximum(left: Any, right: Any) -> Expr:
+    """Pointwise maximum of two expressions."""
+    return BinOp("max", max, as_expr(left), as_expr(right))

@@ -1,0 +1,158 @@
+"""Guarded-command probabilistic modules (a PRISM-like modeling language).
+
+A :class:`Module` declares finite-domain state variables and guarded
+probabilistic commands::
+
+    m = Module("random_walk")
+    x = m.int_var("x", 0, 4, init=2)
+    m.command(x == 0, [(1.0, {x: x + 1})])
+    m.command(x == 4, [(1.0, {x: x - 1})])
+    m.command((x > 0) & (x < 4), [(0.5, {x: x - 1}), (0.5, {x: x + 1})])
+
+One clock cycle of the modeled RTL is one command firing.  Exactly one
+guard must be enabled in every reachable state (DTMC semantics — no
+nondeterminism); :mod:`repro.prog.semantics` enforces this during state
+exploration.
+
+Probabilities may be plain floats or expressions over the current
+state, which is how SNR-dependent quantizer-level probabilities enter
+the paper's models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .expr import Const, Expr, Var, as_expr
+
+__all__ = ["Module", "VariableDecl", "Command", "ModelError"]
+
+
+class ModelError(ValueError):
+    """Raised for ill-formed modules (bad domains, duplicate names, ...)."""
+
+
+@dataclass(frozen=True)
+class VariableDecl:
+    """A finite-domain state variable.
+
+    ``domain`` is the tuple of admissible values; assignments outside
+    the domain are runtime errors during exploration, which catches
+    overflow bugs in RTL-style models (e.g. unclamped path metrics).
+    """
+
+    name: str
+    domain: Tuple[Any, ...]
+    init: Any
+
+    def __post_init__(self) -> None:
+        if len(self.domain) == 0:
+            raise ModelError(f"variable {self.name!r} has an empty domain")
+        if len(set(self.domain)) != len(self.domain):
+            raise ModelError(f"variable {self.name!r} has duplicate domain values")
+        if self.init not in self.domain:
+            raise ModelError(
+                f"initial value {self.init!r} of {self.name!r} outside domain"
+            )
+
+
+@dataclass
+class Command:
+    """A guarded probabilistic command ``guard -> p1:update1 + p2:update2 ...``."""
+
+    guard: Expr
+    updates: List[Tuple[Expr, Dict[str, Expr]]]
+    label: Optional[str] = None
+
+
+class Module:
+    """A self-contained guarded-command probabilistic program."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.variables: Dict[str, VariableDecl] = {}
+        self.commands: List[Command] = []
+
+    # ------------------------------------------------------------------
+    # Variable declaration
+    # ------------------------------------------------------------------
+    def _declare(self, decl: VariableDecl) -> Var:
+        if decl.name in self.variables:
+            raise ModelError(f"variable {decl.name!r} declared twice")
+        self.variables[decl.name] = decl
+        return Var(decl.name)
+
+    def int_var(self, name: str, low: int, high: int, init: Optional[int] = None) -> Var:
+        """Declare an integer variable ranging over ``low..high`` inclusive."""
+        if high < low:
+            raise ModelError(f"variable {name!r}: high {high} < low {low}")
+        init_value = low if init is None else init
+        return self._declare(
+            VariableDecl(name, tuple(range(low, high + 1)), init_value)
+        )
+
+    def bool_var(self, name: str, init: bool = False) -> Var:
+        """Declare a boolean variable."""
+        return self._declare(VariableDecl(name, (False, True), bool(init)))
+
+    def enum_var(self, name: str, values: Sequence[Any], init: Optional[Any] = None) -> Var:
+        """Declare a variable over an explicit finite set of values."""
+        values = tuple(values)
+        init_value = values[0] if init is None else init
+        return self._declare(VariableDecl(name, values, init_value))
+
+    # ------------------------------------------------------------------
+    # Commands
+    # ------------------------------------------------------------------
+    def command(
+        self,
+        guard: Union[Expr, bool],
+        updates: Sequence[Tuple[Union[Expr, float], Mapping[Union[Var, str], Union[Expr, Any]]]],
+        label: Optional[str] = None,
+    ) -> None:
+        """Add a guarded command.
+
+        ``updates`` is a sequence of ``(probability, assignments)``
+        pairs; assignments map variables (or their names) to
+        expressions.  Unassigned variables keep their value, as in
+        PRISM.
+        """
+        if not updates:
+            raise ModelError("a command needs at least one update branch")
+        compiled: List[Tuple[Expr, Dict[str, Expr]]] = []
+        for probability, assignment in updates:
+            compiled_assignment: Dict[str, Expr] = {}
+            for variable, value in assignment.items():
+                name = variable.name if isinstance(variable, Var) else str(variable)
+                if name not in self.variables:
+                    raise ModelError(
+                        f"assignment to undeclared variable {name!r}"
+                    )
+                compiled_assignment[name] = as_expr(value)
+            compiled.append((as_expr(probability), compiled_assignment))
+        self.commands.append(Command(as_expr(guard), compiled, label))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def variable_names(self) -> Tuple[str, ...]:
+        return tuple(self.variables)
+
+    def initial_values(self) -> Dict[str, Any]:
+        """Initial valuation of all state variables."""
+        return {name: decl.init for name, decl in self.variables.items()}
+
+    def domain_size(self) -> int:
+        """Product of all variable domain sizes (an upper bound on states)."""
+        size = 1
+        for decl in self.variables.values():
+            size *= len(decl.domain)
+        return size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Module({self.name!r}, variables={list(self.variables)},"
+            f" commands={len(self.commands)})"
+        )

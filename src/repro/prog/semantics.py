@@ -1,0 +1,128 @@
+"""Operational semantics of guarded-command modules.
+
+Compiles a :class:`~repro.prog.model.Module` into the transition-function
+form consumed by :func:`repro.dtmc.builder.build_dtmc`.  States are
+namedtuples over the module's variables, so pCTL properties can refer
+to variables directly (``P=? [ F<=10 count>2 ]``).
+
+Semantics enforced here (DTMC, following the paper's modeling style):
+
+* exactly one command guard may be enabled per reachable state;
+* branch probabilities must be non-negative and sum to 1;
+* assignments must stay inside the declared variable domains.
+"""
+
+from __future__ import annotations
+
+from collections import namedtuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..dtmc.builder import ExplorationResult, build_dtmc
+from .expr import Expr
+from .model import ModelError, Module
+
+__all__ = ["compile_module", "explore_module", "CompiledModule"]
+
+
+class CompiledModule:
+    """A module compiled to an initial state + transition function."""
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self.state_type = namedtuple(  # type: ignore[misc]
+            f"{module.name}_state".replace("-", "_"), module.variable_names
+        )
+        self.initial_state = self.state_type(**module.initial_values())
+        self._domains = {
+            name: frozenset(decl.domain) for name, decl in module.variables.items()
+        }
+
+    def transition(self, state: Any) -> List[Tuple[float, Any]]:
+        """Successor distribution of ``state`` (DTMC semantics)."""
+        env = state._asdict()
+        enabled = [
+            command
+            for command in self.module.commands
+            if bool(command.guard.evaluate(env))
+        ]
+        if not enabled:
+            raise ModelError(
+                f"no command enabled in state {state}; add a guard covering it"
+                " or an explicit self-loop"
+            )
+        if len(enabled) > 1:
+            labels = [c.label or "<unlabeled>" for c in enabled]
+            raise ModelError(
+                f"nondeterminism: commands {labels} simultaneously enabled in"
+                f" state {state} (DTMCs require exactly one)"
+            )
+        command = enabled[0]
+        branches: List[Tuple[float, Any]] = []
+        for probability_expr, assignment in command.updates:
+            probability = float(probability_expr.evaluate(env))
+            if probability < 0:
+                raise ModelError(
+                    f"negative probability {probability} in state {state}"
+                )
+            if probability == 0.0:
+                continue
+            new_env = dict(env)
+            for name, expr in assignment.items():
+                value = expr.evaluate(env)  # simultaneous update: read old env
+                if value not in self._domains[name]:
+                    raise ModelError(
+                        f"assignment {name} := {value!r} leaves domain in"
+                        f" state {state}"
+                    )
+                new_env[name] = value
+            branches.append((probability, self.state_type(**new_env)))
+        return branches
+
+
+def compile_module(module: Module) -> CompiledModule:
+    """Compile ``module``; validates it has variables and commands."""
+    if not module.variables:
+        raise ModelError(f"module {module.name!r} declares no variables")
+    if not module.commands:
+        raise ModelError(f"module {module.name!r} declares no commands")
+    return CompiledModule(module)
+
+
+def explore_module(
+    module: Module,
+    labels: Optional[Mapping[str, Expr]] = None,
+    rewards: Optional[Mapping[str, Expr]] = None,
+    **builder_kwargs: Any,
+) -> ExplorationResult:
+    """Build the reachable DTMC of ``module``.
+
+    ``labels`` / ``rewards`` are expressions over the module variables,
+    evaluated on every reachable state::
+
+        explore_module(m, labels={"err": flag}, rewards={"err": ite(flag, 1, 0)})
+
+    Additional keyword arguments (``branch_cutoff``, ``canonicalize``,
+    ``max_states``...) are passed through to
+    :func:`repro.dtmc.builder.build_dtmc`.
+    """
+    compiled = compile_module(module)
+
+    def expr_predicate(expr: Expr) -> Callable[[Any], bool]:
+        return lambda state: bool(expr.evaluate(state._asdict()))
+
+    def expr_reward(expr: Expr) -> Callable[[Any], float]:
+        return lambda state: float(expr.evaluate(state._asdict()))
+
+    label_fns = {
+        name: expr_predicate(expr) for name, expr in (labels or {}).items()
+    }
+    reward_fns = {
+        name: expr_reward(expr) for name, expr in (rewards or {}).items()
+    }
+    return build_dtmc(
+        compiled.transition,
+        initial=compiled.initial_state,
+        labels=label_fns,
+        rewards=reward_fns,
+        **builder_kwargs,
+    )

@@ -1,0 +1,27 @@
+"""Monte-Carlo simulation baseline (the methodology the paper replaces)."""
+
+from .estimators import (
+    BerEstimate,
+    clopper_pearson_interval,
+    required_trials,
+    rule_of_three_upper_bound,
+    wilson_interval,
+)
+from .montecarlo import (
+    simulate_detector_ber,
+    simulate_detector_ber_true_channel,
+    simulate_viterbi_ber,
+    simulate_viterbi_convergence,
+)
+
+__all__ = [
+    "BerEstimate",
+    "clopper_pearson_interval",
+    "required_trials",
+    "rule_of_three_upper_bound",
+    "wilson_interval",
+    "simulate_detector_ber",
+    "simulate_detector_ber_true_channel",
+    "simulate_viterbi_ber",
+    "simulate_viterbi_convergence",
+]

@@ -1,0 +1,146 @@
+"""Monte-Carlo simulation of the two case-study systems.
+
+The baseline the paper argues against: estimate BER-like metrics by
+driving the bit-true devices with random inputs over many cycles.
+These simulators share the *exact* datapaths of the DTMC models (same
+trellis/ACS, same quantized detector), so a model-checked value and a
+simulation estimate must agree within the statistical interval — the
+cross-validation reported in the paper's Table V discussion and
+re-checked in this repository's tests and experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..mimo.detector import QuantizedMLDetector, ml_detect_batch
+from ..mimo.system import MimoSystemConfig
+from ..viterbi.decoder import RTLViterbiDecoder
+from ..viterbi.dtmc_model import ViterbiModelConfig
+from .estimators import BerEstimate
+
+__all__ = [
+    "simulate_viterbi_ber",
+    "simulate_detector_ber",
+    "simulate_detector_ber_true_channel",
+    "simulate_viterbi_convergence",
+]
+
+
+def simulate_viterbi_ber(
+    config: Optional[ViterbiModelConfig] = None,
+    num_steps: int = 100_000,
+    seed: Optional[int] = 0,
+    confidence: float = 0.95,
+) -> BerEstimate:
+    """Drive the RTL Viterbi decoder for ``num_steps`` cycles.
+
+    Random i.i.d. data bits pass through the duobinary ISI channel and
+    AWGN at the configured SNR, are quantized, and decoded; errors are
+    counted against the (latency-aligned) transmitted bits — the
+    paper's P2/BER measured by brute force.
+    """
+    config = config or ViterbiModelConfig()
+    rng = np.random.default_rng(seed)
+    trellis = config.make_trellis()
+    quantizer = config.make_quantizer()
+    transmitter = config.make_transmitter()
+    decoder = RTLViterbiDecoder(trellis, config.traceback_length)
+
+    bits = rng.integers(0, 2, num_steps)
+    clean = transmitter.transmit_sequence(bits, initial=0)
+    noisy = clean + rng.normal(0.0, config.sigma, num_steps)
+    q_indices = quantizer.quantize_index(noisy)
+    decoded = decoder.decode_sequence(q_indices)
+    reference = bits[: decoded.size]
+    errors = int(np.count_nonzero(decoded != reference))
+    return BerEstimate(errors, int(decoded.size), confidence)
+
+
+def simulate_viterbi_convergence(
+    config: Optional[ViterbiModelConfig] = None,
+    num_steps: int = 100_000,
+    seed: Optional[int] = 0,
+    confidence: float = 0.95,
+) -> BerEstimate:
+    """Estimate C1: the fraction of cycles whose last ``L`` trellis
+    stages were all non-convergent (matching the convergence DTMC)."""
+    config = config or ViterbiModelConfig()
+    rng = np.random.default_rng(seed)
+    trellis = config.make_trellis()
+    quantizer = config.make_quantizer()
+    transmitter = config.make_transmitter()
+    length = config.traceback_length
+
+    bits = rng.integers(0, 2, num_steps)
+    clean = transmitter.transmit_sequence(bits, initial=0)
+    noisy = clean + rng.normal(0.0, config.sigma, num_steps)
+    q_indices = quantizer.quantize_index(noisy)
+
+    metrics = trellis.initial_metrics()
+    count = 0
+    hits = 0
+    for q in q_indices:
+        acs = trellis.acs(metrics, int(q))
+        metrics = acs.path_metrics
+        count = 0 if acs.is_convergent() else min(count + 1, length)
+        hits += int(count >= length)
+    return BerEstimate(hits, num_steps, confidence)
+
+
+def simulate_detector_ber(
+    config: Optional[MimoSystemConfig] = None,
+    num_steps: int = 100_000,
+    seed: Optional[int] = 0,
+    confidence: float = 0.95,
+) -> BerEstimate:
+    """Simulate the *quantized* detector datapath (the DTMC's system).
+
+    Per cycle: draw the fading dimensions, quantize them, synthesize
+    the received dimensions around the quantized channel (the model's
+    semantics — the detector knows H only through its quantizer),
+    quantize, and run the Eq.-15 ML decision.  Fully vectorized.
+    """
+    config = config or MimoSystemConfig()
+    rng = np.random.default_rng(seed)
+    h_quantizer = config.make_h_quantizer()
+    y_quantizer = config.make_y_quantizer()
+
+    bits = rng.integers(0, 2, num_steps)
+    symbols = 2.0 * bits - 1.0
+    h = rng.normal(0.0, math.sqrt(0.5), (num_steps, config.num_blocks))
+    h_val = h_quantizer.quantize(h)
+    noise = rng.normal(0.0, config.sigma, (num_steps, config.num_blocks))
+    y_val = y_quantizer.quantize(h_val * symbols[:, None] + noise)
+
+    metric_minus = np.abs(y_val + h_val).sum(axis=1)
+    metric_plus = np.abs(y_val - h_val).sum(axis=1)
+    detected = (metric_minus > metric_plus).astype(np.int64)  # ties -> bit 0
+    errors = int(np.count_nonzero(detected != bits))
+    return BerEstimate(errors, num_steps, confidence)
+
+
+def simulate_detector_ber_true_channel(
+    config: Optional[MimoSystemConfig] = None,
+    num_steps: int = 100_000,
+    seed: Optional[int] = 0,
+    confidence: float = 0.95,
+) -> BerEstimate:
+    """Simulate the *unquantized* ML detector (continuous y, H).
+
+    The physical-layer reference: quantifies how much of the DTMC
+    model's BER is quantization artifact versus channel behaviour.
+    """
+    config = config or MimoSystemConfig()
+    rng = np.random.default_rng(seed)
+    channel = config.make_channel(rng)
+
+    bits = rng.integers(0, 2, num_steps)
+    x = (2.0 * bits - 1.0).reshape(-1, 1).astype(complex)
+    y, h = channel.transmit_block(x)
+    detected = ml_detect_batch(y, h)[:, 0]
+    errors = int(np.count_nonzero(detected != bits))
+    return BerEstimate(errors, num_steps, confidence)

@@ -1,0 +1,22 @@
+"""Statistical model checking: sampling with explicit guarantees.
+
+Approximate probabilistic model checking (Chernoff-Hoeffding bounds)
+and Wald's SPRT for qualitative thresholds — the middle ground between
+the paper's exhaustive verification and plain Monte-Carlo estimation.
+"""
+
+from .bridge import make_path_trial, path_satisfies, smc_decide, smc_estimate
+from .hoeffding import ApmcResult, approximate_probability, hoeffding_sample_size
+from .sprt import SprtResult, sprt_decide
+
+__all__ = [
+    "make_path_trial",
+    "path_satisfies",
+    "smc_decide",
+    "smc_estimate",
+    "ApmcResult",
+    "approximate_probability",
+    "hoeffding_sample_size",
+    "SprtResult",
+    "sprt_decide",
+]

@@ -1,0 +1,149 @@
+"""Statistical model checking of DTMC models.
+
+Connects the path sampler (:mod:`repro.dtmc.simulate`) to the SMC
+algorithms: a bounded pCTL path property becomes a Bernoulli trial
+("does a sampled path satisfy it?"), which APMC estimates with a
+Hoeffding guarantee and the SPRT decides against a threshold.
+
+This is the Younes/Hérault-style methodology the paper's related work
+([13]) applies to analog circuits — implemented here so the exact and
+the statistical verdicts can be compared on the same models (the test
+suite does exactly that).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from ..dtmc.chain import DTMC
+from ..dtmc.simulate import PathSampler
+from ..pctl.ast import Eventually, Globally, Next, ProbQuery, Until, WeakUntil
+from ..pctl.checker import ModelChecker, PctlSemanticsError
+from ..pctl.parser import parse_formula
+from .hoeffding import ApmcResult, approximate_probability
+from .sprt import SprtResult, sprt_decide
+
+__all__ = ["path_satisfies", "make_path_trial", "smc_estimate", "smc_decide"]
+
+
+def _bounded_path_parts(chain: DTMC, formula: Union[str, ProbQuery]):
+    """Extract (kind, bound, left-set, right-set) from a bounded query."""
+    if isinstance(formula, str):
+        formula = parse_formula(formula)
+    if not isinstance(formula, ProbQuery):
+        raise PctlSemanticsError(
+            "statistical checking needs a P operator over a bounded path"
+        )
+    path = formula.path
+    if getattr(path, "lower", 0):
+        raise PctlSemanticsError(
+            "interval lower bounds are not supported by the statistical"
+            " checker; use the exact engine"
+        )
+    checker = ModelChecker(chain)
+    if isinstance(path, Next):
+        return "next", 1, None, checker.satisfaction(path.operand)
+    if isinstance(path, Eventually):
+        if path.bound is None:
+            raise PctlSemanticsError("unbounded F needs the exact checker")
+        return (
+            "until",
+            path.bound,
+            np.ones(chain.num_states, bool),
+            checker.satisfaction(path.operand),
+        )
+    if isinstance(path, Globally):
+        if path.bound is None:
+            raise PctlSemanticsError("unbounded G needs the exact checker")
+        return "globally", path.bound, checker.satisfaction(path.operand), None
+    if isinstance(path, (Until, WeakUntil)):
+        if path.bound is None:
+            raise PctlSemanticsError("unbounded U/W needs the exact checker")
+        kind = "weak" if isinstance(path, WeakUntil) else "until"
+        return (
+            kind,
+            path.bound,
+            checker.satisfaction(path.left),
+            checker.satisfaction(path.right),
+        )
+    raise PctlSemanticsError(f"unsupported path formula {path!r}")
+
+
+def path_satisfies(
+    kind: str, bound: int, left: np.ndarray, right, path: np.ndarray
+) -> bool:
+    """Evaluate a bounded path property on one sampled path prefix."""
+    if kind == "next":
+        return bool(right[path[1]])
+    if kind == "globally":
+        return bool(left[path[: bound + 1]].all())
+    # until / weak until semantics over steps 0..bound.
+    for t in range(bound + 1):
+        state = path[t]
+        if right is not None and right[state]:
+            return True
+        if not left[state]:
+            return False
+    # No right-state reached within the bound.
+    return kind == "weak"
+
+
+def make_path_trial(
+    chain: DTMC,
+    formula: Union[str, ProbQuery],
+    sampler: Optional[PathSampler] = None,
+) -> Callable[[np.random.Generator], bool]:
+    """Compile a bounded path property into a Bernoulli trial function.
+
+    The returned callable draws one path prefix and reports whether it
+    satisfies the property — the sampling primitive both SMC algorithms
+    consume.
+    """
+    kind, bound, left, right = _bounded_path_parts(chain, formula)
+    shared = sampler if sampler is not None else PathSampler(chain)
+
+    def trial(rng: np.random.Generator) -> bool:
+        shared.rng = rng
+        path = shared.path(bound)
+        return path_satisfies(kind, bound, left, right, path)
+
+    return trial
+
+
+def smc_estimate(
+    chain: DTMC,
+    formula: Union[str, ProbQuery],
+    epsilon: float = 0.01,
+    delta: float = 0.05,
+    seed: Optional[int] = 0,
+) -> ApmcResult:
+    """APMC estimate of a bounded path probability on ``chain``.
+
+    ``P(|estimate - exact| > epsilon) < delta`` by Hoeffding's bound;
+    the exact value is what :func:`repro.pctl.check` returns.
+    """
+    trial = make_path_trial(chain, formula)
+    return approximate_probability(trial, epsilon=epsilon, delta=delta, seed=seed)
+
+
+def smc_decide(
+    chain: DTMC,
+    formula: Union[str, ProbQuery],
+    theta: float,
+    half_width: float = 0.01,
+    alpha: float = 0.01,
+    beta: float = 0.01,
+    seed: Optional[int] = 0,
+) -> SprtResult:
+    """SPRT decision of ``P(path formula) >= theta`` on ``chain``."""
+    trial = make_path_trial(chain, formula)
+    return sprt_decide(
+        trial,
+        theta=theta,
+        half_width=half_width,
+        alpha=alpha,
+        beta=beta,
+        seed=seed,
+    )

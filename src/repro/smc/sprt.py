@@ -1,0 +1,88 @@
+"""Wald's Sequential Probability Ratio Test for qualitative properties.
+
+Decides hypotheses of the form ``P(property) >= theta`` against
+``P(property) < theta`` by sampling paths until the accumulated
+likelihood ratio crosses Wald's thresholds — Younes & Simmons' approach
+to statistical model checking of qualitative pCTL, complementing the
+additive-error estimator in :mod:`repro.smc.hoeffding`.
+
+The test uses an indifference region ``theta ± half_width``: inside it
+either answer is acceptable; outside it the error probabilities are
+bounded by ``alpha`` (false reject) and ``beta`` (false accept).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+__all__ = ["SprtResult", "sprt_decide"]
+
+
+@dataclass(frozen=True)
+class SprtResult:
+    """Decision of one SPRT run.
+
+    ``accept`` is True when the hypothesis ``p >= theta`` was accepted.
+    ``samples`` is the (data-dependent) number of paths drawn.
+    """
+
+    accept: bool
+    samples: int
+    theta: float
+    half_width: float
+    alpha: float
+    beta: float
+
+    def __str__(self) -> str:
+        verdict = ">=" if self.accept else "<"
+        return (
+            f"P {verdict} {self.theta} (indifference ±{self.half_width},"
+            f" {self.samples} samples)"
+        )
+
+
+def sprt_decide(
+    trial: Callable[[np.random.Generator], bool],
+    theta: float,
+    half_width: float = 0.01,
+    alpha: float = 0.01,
+    beta: float = 0.01,
+    seed: Optional[int] = 0,
+    max_samples: int = 10_000_000,
+) -> SprtResult:
+    """Run the SPRT for ``H0: p >= theta + half_width`` vs
+    ``H1: p <= theta - half_width``.
+
+    Accepting H0 is reported as ``accept=True`` (the property holds
+    with probability at least ``theta``).
+    """
+    p0 = theta + half_width
+    p1 = theta - half_width
+    if not 0.0 < p1 < p0 < 1.0:
+        raise ValueError(
+            "need 0 < theta - half_width < theta + half_width < 1"
+        )
+    log_a = math.log((1.0 - alpha) / beta)
+    log_b = math.log(alpha / (1.0 - beta))
+    # Per-sample log-likelihood-ratio increments of H1 vs H0.
+    inc_success = math.log(p1 / p0)
+    inc_failure = math.log((1.0 - p1) / (1.0 - p0))
+
+    rng = np.random.default_rng(seed)
+    llr = 0.0
+    samples = 0
+    while samples < max_samples:
+        samples += 1
+        llr += inc_success if trial(rng) else inc_failure
+        if llr >= log_a:
+            return SprtResult(False, samples, theta, half_width, alpha, beta)
+        if llr <= log_b:
+            return SprtResult(True, samples, theta, half_width, alpha, beta)
+    raise RuntimeError(
+        f"SPRT did not terminate within {max_samples} samples; p is likely"
+        " inside the indifference region - widen it or use APMC"
+    )

@@ -1,0 +1,14 @@
+"""Symbolic engine: ROBDDs and MTBDDs, from scratch.
+
+The data structures PRISM is built on.  Used here both as a
+demonstrable substrate (the paper's engine is "a symbolic model
+checking tool that uses ... binary decision diagrams") and as an
+independent second implementation that cross-checks the sparse engine
+in the test suite.
+"""
+
+from .bdd import BDD
+from .encode import StateEncoding, SymbolicEngine
+from .mtbdd import MTBDD
+
+__all__ = ["BDD", "MTBDD", "StateEncoding", "SymbolicEngine"]

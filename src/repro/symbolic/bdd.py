@@ -1,0 +1,245 @@
+"""Reduced Ordered Binary Decision Diagrams (ROBDDs), from scratch.
+
+PRISM — the engine the paper runs on — is a *symbolic* model checker:
+state sets are BDDs and probability matrices are MTBDDs.  This module
+is the boolean half of that substrate: a classic ROBDD package with a
+unique table (hash-consing, so equality is pointer equality), a
+memoized Shannon-expansion ``ite`` kernel, and the standard derived
+operations (apply, restrict, exists/forall quantification, model
+counting).
+
+Nodes are integers: 0 and 1 are the terminals, every other node is an
+entry ``(level, low, high)`` in the manager's node table.  Variables
+are identified by their *level* in the (fixed) variable order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+__all__ = ["BDD"]
+
+
+class BDD:
+    """A BDD manager over ``num_vars`` boolean variables.
+
+    All diagrams created through one manager share its unique table;
+    two equivalent functions are represented by the *same* integer
+    node, so semantic equality checks are ``==`` on ints.
+    """
+
+    FALSE = 0
+    TRUE = 1
+
+    def __init__(self, num_vars: int) -> None:
+        if num_vars < 0:
+            raise ValueError("num_vars must be non-negative")
+        self.num_vars = num_vars
+        # node id -> (level, low, high); ids 0/1 are terminals.
+        self._nodes: List[Tuple[int, int, int]] = [(-1, -1, -1), (-1, -1, -1)]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Node plumbing
+    # ------------------------------------------------------------------
+    def _make(self, level: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._nodes)
+            self._nodes.append(key)
+            self._unique[key] = node
+        return node
+
+    def level_of(self, node: int) -> int:
+        """Variable level of ``node`` (terminals sort below everything)."""
+        if node <= 1:
+            return self.num_vars
+        return self._nodes[node][0]
+
+    def cofactors(self, node: int, level: int) -> Tuple[int, int]:
+        """Shannon cofactors of ``node`` w.r.t. the variable at ``level``."""
+        if node <= 1 or self._nodes[node][0] != level:
+            return node, node
+        _, low, high = self._nodes[node]
+        return low, high
+
+    @property
+    def num_nodes(self) -> int:
+        """Total nodes ever created (including the two terminals)."""
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    def var(self, level: int) -> int:
+        """The projection function of the variable at ``level``."""
+        if not 0 <= level < self.num_vars:
+            raise ValueError(f"variable level {level} out of range")
+        return self._make(level, self.FALSE, self.TRUE)
+
+    def nvar(self, level: int) -> int:
+        """The negated projection function."""
+        return self._make(level, self.TRUE, self.FALSE)
+
+    def cube(self, assignment: Dict[int, bool]) -> int:
+        """Conjunction of literals, e.g. ``{0: True, 3: False}``."""
+        node = self.TRUE
+        for level in sorted(assignment, reverse=True):
+            if assignment[level]:
+                node = self._make(level, self.FALSE, node)
+            else:
+                node = self._make(level, node, self.FALSE)
+        return node
+
+    # ------------------------------------------------------------------
+    # The ite kernel
+    # ------------------------------------------------------------------
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``f ? g : h`` — the universal BDD operation."""
+        if f == self.TRUE:
+            return g
+        if f == self.FALSE:
+            return h
+        if g == h:
+            return g
+        if g == self.TRUE and h == self.FALSE:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        level = min(self.level_of(f), self.level_of(g), self.level_of(h))
+        f0, f1 = self.cofactors(f, level)
+        g0, g1 = self.cofactors(g, level)
+        h0, h1 = self.cofactors(h, level)
+        result = self._make(
+            level, self.ite(f0, g0, h0), self.ite(f1, g1, h1)
+        )
+        self._ite_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Derived boolean operations
+    # ------------------------------------------------------------------
+    def apply_not(self, f: int) -> int:
+        return self.ite(f, self.FALSE, self.TRUE)
+
+    def apply_and(self, f: int, g: int) -> int:
+        return self.ite(f, g, self.FALSE)
+
+    def apply_or(self, f: int, g: int) -> int:
+        return self.ite(f, self.TRUE, g)
+
+    def apply_xor(self, f: int, g: int) -> int:
+        return self.ite(f, self.apply_not(g), g)
+
+    def apply_implies(self, f: int, g: int) -> int:
+        return self.ite(f, g, self.TRUE)
+
+    # ------------------------------------------------------------------
+    # Quantification and substitution
+    # ------------------------------------------------------------------
+    def restrict(self, f: int, level: int, value: bool) -> int:
+        """Cofactor ``f`` with the variable at ``level`` fixed."""
+        if f <= 1 or self.level_of(f) > level:
+            return f
+        var_level, low, high = self._nodes[f]
+        if var_level == level:
+            return high if value else low
+        return self._make(
+            var_level,
+            self.restrict(low, level, value),
+            self.restrict(high, level, value),
+        )
+
+    def exists(self, f: int, levels: Iterable[int]) -> int:
+        """Existential quantification over the given variable levels."""
+        result = f
+        for level in sorted(set(levels), reverse=True):
+            result = self.apply_or(
+                self.restrict(result, level, False),
+                self.restrict(result, level, True),
+            )
+        return result
+
+    def forall(self, f: int, levels: Iterable[int]) -> int:
+        """Universal quantification over the given variable levels."""
+        result = f
+        for level in sorted(set(levels), reverse=True):
+            result = self.apply_and(
+                self.restrict(result, level, False),
+                self.restrict(result, level, True),
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def evaluate(self, f: int, assignment: Dict[int, bool]) -> bool:
+        """Evaluate ``f`` under a (total) variable assignment."""
+        node = f
+        while node > 1:
+            level, low, high = self._nodes[node]
+            node = high if assignment.get(level, False) else low
+        return node == self.TRUE
+
+    def sat_count(self, f: int) -> int:
+        """Number of satisfying assignments over all ``num_vars`` variables."""
+        cache: Dict[int, int] = {}
+
+        def count(node: int) -> int:
+            # Returns count over variables at levels >= level_of(node),
+            # normalized to "free" variables handled by the caller.
+            if node == self.FALSE:
+                return 0
+            if node == self.TRUE:
+                return 1 << 0
+            cached = cache.get(node)
+            if cached is not None:
+                return cached
+            level, low, high = self._nodes[node]
+            low_count = count(low) << (self.level_of(low) - level - 1)
+            high_count = count(high) << (self.level_of(high) - level - 1)
+            result = low_count + high_count
+            cache[node] = result
+            return result
+
+        return count(f) << self.level_of(f)
+
+    def satisfying_assignments(self, f: int) -> Iterator[Dict[int, bool]]:
+        """Iterate all satisfying total assignments (exponential!)."""
+
+        def walk_pruned(node: int, level: int, partial: Dict[int, bool]):
+            if node == self.FALSE:
+                return
+            if level == self.num_vars:
+                yield dict(partial)
+                return
+            low, high = self.cofactors(node, level)
+            partial[level] = False
+            yield from walk_pruned(low, level + 1, partial)
+            partial[level] = True
+            yield from walk_pruned(high, level + 1, partial)
+            del partial[level]
+
+        yield from walk_pruned(f, 0, {})
+
+    def support(self, f: int) -> List[int]:
+        """Variable levels ``f`` actually depends on."""
+        seen = set()
+        visited = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node <= 1 or node in visited:
+                continue
+            visited.add(node)
+            level, low, high = self._nodes[node]
+            seen.add(level)
+            stack.append(low)
+            stack.append(high)
+        return sorted(seen)

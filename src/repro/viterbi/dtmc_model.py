@@ -1,0 +1,291 @@
+"""Full DTMC model ``M`` of the RTL Viterbi decoder (Section IV-A).
+
+State variables follow the paper exactly:
+
+* ``pm`` — the normalized, saturated path metrics (pm0, pm1);
+* ``prev`` — survivor pointers of the last ``L`` trellis stages,
+  newest first (the paper's ``prev0_i`` / ``prev1_i``);
+* ``x``    — the actual data bits of the last ``L`` steps, newest first
+  (the paper's ``x_i``);
+* ``flag`` — 1 iff the bit decoded this cycle (for the cycle ``L-1``
+  steps ago) is wrong.  ``flag`` is a deterministic function of the
+  other variables, so carrying it costs no extra states.
+
+One DTMC transition = one clock cycle:  the data bit ``x_0'`` is drawn
+uniformly, the received quantization level ``q`` is drawn from the
+exact Gaussian cell probabilities given the noiseless ISI output of
+``(x_0', x_0)`` (the paper's probabilistic function ``Gamma_p``,
+Eq. 2), and the remaining variables follow deterministically
+(Eqs. 3-5).
+
+An extended model with a saturating error counter supports the paper's
+worst-case property P3 (``P=? [ F<=T errcnt>1 ]``), matching the larger
+state count reported for P3 in Table I.
+"""
+
+from __future__ import annotations
+
+from collections import namedtuple
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..comm.channel import PartialResponseTransmitter
+from ..comm.quantizer import UniformQuantizer
+from ..comm.snr import noise_sigma
+from ..dtmc.builder import ExplorationResult, build_dtmc
+from .trellis import Trellis
+
+__all__ = [
+    "ViterbiModelConfig",
+    "ViterbiFullState",
+    "ViterbiKernel",
+    "traceback_flag",
+    "full_transition",
+    "build_full_model",
+    "build_error_count_model",
+]
+
+ViterbiFullState = namedtuple("ViterbiFullState", ["pm", "prev", "x", "flag"])
+ViterbiErrcntState = namedtuple(
+    "ViterbiErrcntState", ["pm", "prev", "x", "flag", "errcnt"]
+)
+
+
+@dataclass(frozen=True)
+class ViterbiModelConfig:
+    """Parameters of the Viterbi case study.
+
+    Defaults are the laptop-scale settings documented in DESIGN.md
+    (the paper runs L=6 with a finer quantizer on a 53M-state model);
+    every experiment exposes these as knobs.
+
+    Attributes
+    ----------
+    snr_db:
+        Es/N0 in dB (per-bit symbol energy 1); the paper's Table I uses
+        5 dB.
+    traceback_length:
+        The paper's ``L`` (number of stored trellis stages).
+    num_levels:
+        Receiver quantizer levels.
+    quantizer_low / quantizer_high:
+        Quantizer range; must cover the ISI alphabet {-2, 0, +2}.
+    pm_max:
+        Path-metric saturation bound.
+    error_count_cap:
+        Saturation bound of the P3 error counter.
+    """
+
+    snr_db: float = 5.0
+    traceback_length: int = 4
+    num_levels: int = 5
+    quantizer_low: float = -3.0
+    quantizer_high: float = 3.0
+    pm_max: int = 6
+    error_count_cap: int = 2
+    taps: Tuple[float, ...] = (1.0, 1.0)
+
+    def __post_init__(self) -> None:
+        if self.traceback_length < 2:
+            raise ValueError("traceback_length must be >= 2")
+        if self.error_count_cap < 1:
+            raise ValueError("error_count_cap must be >= 1")
+        if len(self.taps) < 2:
+            raise ValueError("need taps for the current bit and >=1 past bit")
+        if self.traceback_length <= self.memory:
+            raise ValueError("traceback_length must exceed the channel memory")
+
+    @property
+    def memory(self) -> int:
+        """Channel memory ``m`` (the paper's case studies use m = 1)."""
+        return len(self.taps) - 1
+
+    def make_quantizer(self) -> UniformQuantizer:
+        return UniformQuantizer(
+            self.num_levels, self.quantizer_low, self.quantizer_high
+        )
+
+    def make_transmitter(self) -> PartialResponseTransmitter:
+        return PartialResponseTransmitter(self.taps)
+
+    def make_trellis(self) -> Trellis:
+        return Trellis(
+            self.make_transmitter(), self.make_quantizer(), pm_max=self.pm_max
+        )
+
+    @property
+    def sigma(self) -> float:
+        return noise_sigma(self.snr_db, symbol_energy=1.0)
+
+
+class ViterbiKernel:
+    """The probabilistic function ``Gamma_p`` shared by ``M`` and ``M_R``.
+
+    Maps ``(pm, previous bit)`` to the distribution over
+    ``(new pm, new survivors, new bit, q index)``.  Both the full and
+    the reduced model draw from this same kernel — which is why the
+    reduction preserves probabilistic behaviour (the paper's Part B).
+    All Gaussian cell probabilities and ACS results are cached; the
+    per-state work during exploration is a table walk.
+    """
+
+    def __init__(self, config: ViterbiModelConfig) -> None:
+        self.config = config
+        self.trellis = config.make_trellis()
+        self.quantizer = config.make_quantizer()
+        self.transmitter = config.make_transmitter()
+        sigma = config.sigma
+        memory = config.memory
+        # q-level distribution for each (new bit, past bits...) tuple
+        # (newest past bit first — the paper's m=1 case keys on
+        # (x[n], x[n-1])).
+        import itertools as _itertools
+
+        self._q_dist: Dict[Tuple[int, ...], List[Tuple[float, int]]] = {}
+        for bits in _itertools.product((0, 1), repeat=memory + 1):
+            mean = self.transmitter.output(list(bits))
+            probabilities = self.quantizer.cell_probabilities(mean, sigma)
+            self._q_dist[bits] = [
+                (float(p), int(i))
+                for i, p in enumerate(probabilities)
+                if p > 0.0
+            ]
+        self._acs_cache: Dict[Tuple[Tuple[int, ...], int], Tuple[Tuple[int, ...], Tuple[int, ...]]] = {}
+
+    def acs(self, pm: Tuple[int, ...], q_index: int) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """Cached add-compare-select: ``(new pm, survivors)``."""
+        key = (pm, q_index)
+        cached = self._acs_cache.get(key)
+        if cached is None:
+            result = self.trellis.acs(pm, q_index)
+            cached = (result.path_metrics, result.survivors)
+            self._acs_cache[key] = cached
+        return cached
+
+    def branches(
+        self, pm: Tuple[int, ...], x_prev
+    ) -> List[Tuple[float, Tuple[Tuple[int, ...], Tuple[int, ...], int, int]]]:
+        """All probabilistic outcomes of one cycle.
+
+        Returns ``(probability, (new_pm, survivors, x_new, q_index))``
+        with the data bit uniform over {0, 1} and ``q`` from the exact
+        quantized-Gaussian distribution.  ``x_prev`` is the previous
+        data bit (memory 1) or the tuple of the last ``m`` bits, newest
+        first.
+        """
+        past = (x_prev,) if isinstance(x_prev, int) else tuple(x_prev)
+        out = []
+        for x_new in (0, 1):
+            for p_q, q_index in self._q_dist[(x_new,) + past]:
+                new_pm, survivors = self.acs(pm, q_index)
+                out.append((0.5 * p_q, (new_pm, survivors, x_new, q_index)))
+        return out
+
+    def initial_pm(self) -> Tuple[int, ...]:
+        return self.trellis.initial_metrics()
+
+
+def traceback_flag(
+    pm: Tuple[int, ...], prev: Tuple[Tuple[int, ...], ...], x: Tuple[int, ...]
+) -> int:
+    """The paper's ``F_E`` (Eq. 5): traceback through all stored stages
+    and compare the decoded bit with the actual bit ``x_{L-1}``."""
+    state = min(range(len(pm)), key=lambda s: (pm[s], s))
+    for stage in prev[:-1]:
+        state = stage[state]
+    return int((state & 1) != x[-1])
+
+
+def full_transition(kernel: ViterbiKernel) -> Callable:
+    """Transition function of the full model ``M`` (Eqs. 2-5)."""
+
+    memory = kernel.config.memory
+
+    def transition(state: ViterbiFullState):
+        branches = []
+        for probability, (new_pm, survivors, x_new, _q) in kernel.branches(
+            state.pm, state.x[:memory]
+        ):
+            new_prev = (survivors,) + state.prev[:-1]
+            new_x = (x_new,) + state.x[:-1]
+            flag = traceback_flag(new_pm, new_prev, new_x)
+            branches.append(
+                (probability, ViterbiFullState(new_pm, new_prev, new_x, flag))
+            )
+        return branches
+
+    return transition
+
+
+def _initial_full_state(kernel: ViterbiKernel) -> ViterbiFullState:
+    length = kernel.config.traceback_length
+    pm = kernel.initial_pm()
+    prev = (tuple([0] * kernel.trellis.num_states),) * length
+    x = (0,) * length
+    return ViterbiFullState(pm, prev, x, traceback_flag(pm, prev, x))
+
+
+def build_full_model(
+    config: Optional[ViterbiModelConfig] = None, **builder_kwargs
+) -> ExplorationResult:
+    """Explore the full Viterbi DTMC ``M``.
+
+    The chain carries the label ``flag`` and a matching reward
+    structure (the paper's reward model), so P1/P2/P3-style properties
+    check directly.
+    """
+    config = config or ViterbiModelConfig()
+    kernel = ViterbiKernel(config)
+    return build_dtmc(
+        full_transition(kernel),
+        initial=_initial_full_state(kernel),
+        labels={"flag": lambda s: bool(s.flag)},
+        rewards={"flag": lambda s: float(s.flag)},
+        **builder_kwargs,
+    )
+
+
+def build_error_count_model(
+    config: Optional[ViterbiModelConfig] = None, **builder_kwargs
+) -> ExplorationResult:
+    """Full model extended with a saturating error counter for P3.
+
+    ``errcnt`` accumulates decoded-bit errors up to
+    ``config.error_count_cap``; the paper's worst-case property is
+    ``P=? [ F<=T errcnt>1 ]``.  This is the larger "P3" model of
+    Table I.
+    """
+    config = config or ViterbiModelConfig()
+    kernel = ViterbiKernel(config)
+    base = full_transition(kernel)
+    cap = config.error_count_cap
+
+    def transition(state: ViterbiErrcntState):
+        inner = ViterbiFullState(state.pm, state.prev, state.x, state.flag)
+        return [
+            (
+                probability,
+                ViterbiErrcntState(
+                    nxt.pm,
+                    nxt.prev,
+                    nxt.x,
+                    nxt.flag,
+                    min(state.errcnt + nxt.flag, cap),
+                ),
+            )
+            for probability, nxt in base(inner)
+        ]
+
+    start = _initial_full_state(kernel)
+    initial = ViterbiErrcntState(start.pm, start.prev, start.x, start.flag, 0)
+    return build_dtmc(
+        transition,
+        initial=initial,
+        labels={
+            "flag": lambda s: bool(s.flag),
+            "overflow": lambda s: s.errcnt > 1,
+        },
+        rewards={"flag": lambda s: float(s.flag)},
+        **builder_kwargs,
+    )

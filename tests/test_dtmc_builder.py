@@ -1,0 +1,166 @@
+"""Unit tests for the state-space builder (repro.dtmc.builder)."""
+
+import numpy as np
+import pytest
+
+from repro.dtmc import (
+    DTMCValidationError,
+    ExplorationLimitError,
+    build_dtmc,
+    distribution_at,
+    reachability_iterations,
+)
+
+
+def random_walk(state):
+    """Bounded random walk on 0..4 with reflecting ends."""
+    lo, hi = 0, 4
+    if state == lo:
+        return [(1.0, state + 1)]
+    if state == hi:
+        return [(1.0, state - 1)]
+    return [(0.5, state - 1), (0.5, state + 1)]
+
+
+def coin_pair(state):
+    """Two independent coins re-flipped each step (order irrelevant)."""
+    return [
+        (0.25, (0, 0)),
+        (0.25, (0, 1)),
+        (0.25, (1, 0)),
+        (0.25, (1, 1)),
+    ]
+
+
+class TestBasicExploration:
+    def test_explores_reachable_states(self):
+        result = build_dtmc(random_walk, initial=2)
+        assert result.num_states == 5
+        assert set(result.states) == {0, 1, 2, 3, 4}
+
+    def test_chain_is_valid(self):
+        result = build_dtmc(random_walk, initial=2)
+        sums = np.asarray(result.chain.transition_matrix.sum(axis=1)).ravel()
+        assert np.allclose(sums, 1.0)
+
+    def test_initial_distribution(self):
+        result = build_dtmc(random_walk, initial=[(0.5, 0), (0.5, 4)])
+        init = result.chain.initial_distribution
+        assert init[result.index[0]] == pytest.approx(0.5)
+        assert init[result.index[4]] == pytest.approx(0.5)
+
+    def test_labels_and_rewards_evaluated(self):
+        result = build_dtmc(
+            random_walk,
+            initial=2,
+            labels={"edge": lambda s: s in (0, 4)},
+            rewards={"pos": lambda s: float(s)},
+        )
+        chain = result.chain
+        edge_states = {result.states[i] for i in chain.states_satisfying("edge")}
+        assert edge_states == {0, 4}
+        assert chain.reward_vector("pos")[result.index[3]] == 3.0
+
+    def test_bfs_levels_equal_reachability_iterations(self):
+        result = build_dtmc(random_walk, initial=2)
+        assert result.bfs_levels == reachability_iterations(result.chain)
+
+    def test_duplicate_successors_merged(self):
+        def fn(state):
+            return [(0.5, "x"), (0.25, "x"), (0.25, "y")]
+
+        result = build_dtmc(fn, initial="x")
+        i, j = result.index["x"], result.index["y"]
+        assert result.chain.transition_probability(i, i) == pytest.approx(0.75)
+        assert result.chain.transition_probability(i, j) == pytest.approx(0.25)
+
+
+class TestValidation:
+    def test_rejects_nonstochastic_branches(self):
+        def fn(state):
+            return [(0.5, 0)]
+
+        with pytest.raises(DTMCValidationError, match="sum"):
+            build_dtmc(fn, initial=0)
+
+    def test_rejects_negative_probability(self):
+        def fn(state):
+            return [(1.5, 0), (-0.5, 1)]
+
+        with pytest.raises(DTMCValidationError, match="negative"):
+            build_dtmc(fn, initial=0)
+
+    def test_max_states_enforced(self):
+        def counter(state):
+            return [(1.0, state + 1)]
+
+        with pytest.raises(ExplorationLimitError):
+            build_dtmc(counter, initial=0, max_states=100)
+
+
+class TestCanonicalize:
+    def test_symmetry_quotient(self):
+        """Sorting the coin pair folds (0,1) and (1,0) into one state."""
+        full = build_dtmc(coin_pair, initial=(0, 0))
+        reduced = build_dtmc(
+            coin_pair,
+            initial=(0, 0),
+            canonicalize=lambda s: tuple(sorted(s)),
+        )
+        assert full.num_states == 4
+        assert reduced.num_states == 3
+        mixed = reduced.index[(0, 1)]
+        row = dict(reduced.chain.successors(mixed))
+        assert row[mixed] == pytest.approx(0.5)
+
+    def test_quotient_preserves_transient_probability(self):
+        full = build_dtmc(
+            coin_pair,
+            initial=(0, 0),
+            labels={"both_heads": lambda s: s == (1, 1)},
+        )
+        reduced = build_dtmc(
+            coin_pair,
+            initial=(0, 0),
+            canonicalize=lambda s: tuple(sorted(s)),
+            labels={"both_heads": lambda s: s == (1, 1)},
+        )
+        for t in range(4):
+            p_full = float(
+                distribution_at(full.chain, t) @ full.chain.label_vector("both_heads")
+            )
+            p_red = float(
+                distribution_at(reduced.chain, t)
+                @ reduced.chain.label_vector("both_heads")
+            )
+            assert p_full == pytest.approx(p_red)
+
+
+class TestBranchCutoff:
+    def test_cutoff_drops_rare_branch_and_renormalizes(self):
+        def fn(state):
+            if state == "start":
+                return [(1e-20, "rare"), (1.0 - 1e-20, "common")]
+            return [(1.0, state)]
+
+        result = build_dtmc(fn, initial="start", branch_cutoff=1e-15)
+        assert "rare" not in result.index
+        assert result.discarded_branches == 1
+        i = result.index["start"]
+        j = result.index["common"]
+        assert result.chain.transition_probability(i, j) == pytest.approx(1.0)
+
+    def test_zero_cutoff_keeps_everything(self):
+        def fn(state):
+            return [(1e-20, "rare"), (1.0 - 1e-20, "common")] if state == "s" else [(1.0, state)]
+
+        result = build_dtmc(fn, initial="s")
+        assert "rare" in result.index
+        assert result.discarded_branches == 0
+
+    def test_cutoff_cannot_empty_a_row(self):
+        def fn(state):
+            return [(1e-20, "a"), (1e-20, "b")]
+
+        with pytest.raises(DTMCValidationError, match="cutoff"):
+            build_dtmc(fn, initial="x", branch_cutoff=1e-15)

@@ -1,0 +1,75 @@
+"""Tests for reward structures (repro.dtmc.rewards)."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.dtmc import (
+    RewardStructure,
+    attach_reward,
+    cumulative_reward,
+    instantaneous_reward,
+)
+
+from helpers import two_state_chain
+
+
+class TestRewardStructure:
+    def test_state_rewards_only(self):
+        chain = two_state_chain(p=0.5, q=0.5)
+        structure = RewardStructure(np.array([0.0, 2.0]))
+        assert structure.expected_step_reward(chain).tolist() == [0.0, 2.0]
+
+    def test_transition_rewards_folded(self):
+        chain = two_state_chain(p=0.5, q=0.5)
+        # Earn 4 on the a->b edge only.
+        iota = sparse.csr_matrix(np.array([[0.0, 4.0], [0.0, 0.0]]))
+        structure = RewardStructure(np.zeros(2), iota)
+        expected = structure.expected_step_reward(chain)
+        # From a: 0 + P(a->b) * 4 = 2; from b: 0.
+        assert expected.tolist() == [2.0, 0.0]
+
+    def test_instantaneous_ignores_transition_rewards(self):
+        chain = two_state_chain(p=0.5, q=0.5)
+        iota = sparse.csr_matrix(np.array([[0.0, 4.0], [0.0, 0.0]]))
+        structure = RewardStructure(np.array([1.0, 0.0]), iota)
+        # Standard semantics: I=t uses state rewards only.
+        assert structure.instantaneous(chain, 0) == pytest.approx(1.0)
+
+    def test_cumulative_includes_transition_rewards(self):
+        chain = two_state_chain(p=1.0, q=1.0)  # deterministic alternation
+        iota = sparse.csr_matrix(np.array([[0.0, 4.0], [0.0, 0.0]]))
+        structure = RewardStructure(np.zeros(2), iota)
+        # Steps 0 and 2 take the a->b edge... starting at a: step 0
+        # a->b earns 4, step 1 b->a earns 0, step 2 a->b earns 4.
+        assert structure.cumulative(chain, 3) == pytest.approx(8.0)
+
+    def test_long_run_with_transition_rewards(self):
+        chain = two_state_chain(p=0.5, q=0.5)
+        iota = sparse.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        structure = RewardStructure(np.zeros(2), iota)
+        # Every step crosses an edge with reward 1 w.p. 1/2.
+        assert structure.long_run(chain) == pytest.approx(0.5)
+
+    def test_attach_reward(self):
+        chain = two_state_chain(p=0.5, q=0.5)
+        structure = RewardStructure(np.array([0.0, 3.0]))
+        attach_reward(chain, "bonus", structure)
+        assert instantaneous_reward(chain, "bonus", 1) == pytest.approx(1.5)
+
+    def test_attach_reward_size_mismatch(self):
+        chain = two_state_chain()
+        with pytest.raises(ValueError, match="states"):
+            attach_reward(chain, "bad", RewardStructure(np.zeros(5)))
+
+    def test_matches_plain_vector_path(self):
+        chain = two_state_chain(p=0.3, q=0.7)
+        structure = RewardStructure(np.array([0.5, 1.5]))
+        attach_reward(chain, "r", structure)
+        for t in (0, 1, 5):
+            assert structure.instantaneous(chain, t) == pytest.approx(
+                instantaneous_reward(chain, "r", t)
+            )
+        assert structure.cumulative(chain, 4) == pytest.approx(
+            cumulative_reward(chain, "r", 4)
+        )

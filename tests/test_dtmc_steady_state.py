@@ -1,0 +1,125 @@
+"""Unit + property tests for steady-state analysis (repro.dtmc.steady_state)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.dtmc import (
+    DTMC,
+    absorption_probabilities,
+    assert_ergodic,
+    bottom_sccs,
+    distribution_at,
+    dtmc_from_dict,
+    long_run_distribution,
+    long_run_reward,
+    power_iteration,
+    stationary_distribution,
+)
+
+from helpers import gamblers_ruin, knuth_yao_die, random_dtmcs, two_state_chain
+
+
+class TestStationary:
+    def test_two_state_closed_form(self):
+        chain = two_state_chain(p=0.5, q=0.3)
+        pi = stationary_distribution(chain)
+        # pi_b = p / (p + q)
+        assert pi == pytest.approx([0.3 / 0.8, 0.5 / 0.8])
+
+    def test_is_fixed_point(self):
+        chain = two_state_chain(p=0.2, q=0.9)
+        pi = stationary_distribution(chain)
+        assert np.allclose(pi @ chain.transition_matrix, pi)
+
+    def test_rejects_reducible_chain(self):
+        with pytest.raises(ValueError, match="irreducible"):
+            stationary_distribution(gamblers_ruin())
+
+    def test_single_state(self):
+        chain = dtmc_from_dict({"a": {"a": 1.0}}, initial="a")
+        assert stationary_distribution(chain).tolist() == [1.0]
+
+    def test_power_iteration_agrees_with_solve(self):
+        chain = two_state_chain(p=0.45, q=0.15)
+        direct = stationary_distribution(chain)
+        iterated = power_iteration(chain, tolerance=1e-14)
+        assert np.allclose(direct, iterated, atol=1e-10)
+
+    def test_uniform_for_doubly_stochastic(self):
+        matrix = np.array(
+            [[0.2, 0.3, 0.5], [0.5, 0.2, 0.3], [0.3, 0.5, 0.2]]
+        )
+        chain = DTMC(matrix, 0)
+        assert stationary_distribution(chain) == pytest.approx([1 / 3] * 3)
+
+
+class TestAbsorption:
+    def test_gamblers_ruin_fair_game(self):
+        chain = gamblers_ruin(n=4, p=0.5)  # start at 2
+        classes = bottom_sccs(chain)
+        probs = absorption_probabilities(chain, classes)
+        assert probs.sum() == pytest.approx(1.0)
+        # Fair game from the midpoint: equal ruin/win probability.
+        assert probs == pytest.approx([0.5, 0.5], abs=1e-9)
+
+    def test_gamblers_ruin_biased(self):
+        chain = gamblers_ruin(n=4, p=0.75)
+        classes = bottom_sccs(chain)
+        win_class = next(
+            k
+            for k, members in enumerate(classes)
+            if chain.label_vector("win")[members[0]]
+        )
+        probs = absorption_probabilities(chain, classes)
+        # Classic formula with r = (1-p)/p = 1/3, start i=2 of n=4:
+        r = 1 / 3
+        expected_win = (1 - r**2) / (1 - r**4)
+        assert probs[win_class] == pytest.approx(expected_win)
+
+    def test_mass_starting_inside_class(self):
+        chain = dtmc_from_dict({"a": {"a": 1.0}, "b": {"b": 1.0}}, initial="a")
+        probs = absorption_probabilities(chain, [[0], [1]])
+        assert probs == pytest.approx([1.0, 0.0])
+
+
+class TestLongRun:
+    def test_matches_stationary_when_ergodic(self):
+        chain = two_state_chain(p=0.5, q=0.3)
+        assert np.allclose(
+            long_run_distribution(chain), stationary_distribution(chain)
+        )
+
+    def test_die_long_run_uniform_faces(self):
+        chain = knuth_yao_die()
+        pi = long_run_distribution(chain)
+        for face in ["one", "two", "three", "four", "five", "six"]:
+            (idx,) = chain.states_satisfying(face)
+            assert pi[idx] == pytest.approx(1 / 6, abs=1e-9)
+
+    def test_long_run_reward_equals_limit_of_instantaneous(self):
+        chain = two_state_chain(p=0.5, q=0.3)
+        lrr = long_run_reward(chain, "hit")
+        pi_t = distribution_at(chain, 300)
+        assert lrr == pytest.approx(float(pi_t @ chain.reward_vector("hit")), abs=1e-9)
+
+    def test_assert_ergodic(self):
+        assert assert_ergodic(two_state_chain()) == (True, True)
+        irreducible, _ = assert_ergodic(gamblers_ruin())
+        assert not irreducible
+
+
+@given(random_dtmcs())
+@settings(max_examples=40, deadline=None)
+def test_long_run_distribution_is_distribution(chain):
+    pi = long_run_distribution(chain)
+    assert pi.min() >= -1e-9
+    assert pi.sum() == pytest.approx(1.0, abs=1e-7)
+
+
+@given(random_dtmcs())
+@settings(max_examples=40, deadline=None)
+def test_long_run_is_fixed_point(chain):
+    """The limiting distribution must be invariant under P."""
+    pi = long_run_distribution(chain)
+    assert np.allclose(pi @ chain.transition_matrix, pi, atol=1e-7)

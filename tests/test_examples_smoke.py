@@ -1,0 +1,52 @@
+"""Smoke tests: every example script runs end to end.
+
+Examples are user-facing documentation; a broken example is a broken
+deliverable.  Each script is executed in-process (monkeypatched argv)
+with its ``main()`` entry point where available.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = ["quickstart.py", "custom_rtl_model.py"]
+SLOW_EXAMPLES = [
+    "viterbi_error_analysis.py",
+    "mimo_detector_ber.py",
+    "traceback_convergence.py",
+]
+
+
+def run_example(name, capsys):
+    path = EXAMPLES_DIR / name
+    assert path.exists(), f"missing example {name}"
+    runpy.run_path(str(path), run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_examples_run(name, capsys):
+    out = run_example(name, capsys)
+    assert len(out.splitlines()) > 3
+
+
+def test_quickstart_output(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "P1" in out
+    assert "steady state is guaranteed" in out
+
+
+def test_custom_rtl_model_agrees_with_closed_form(capsys):
+    out = run_example("custom_rtl_model.py", capsys)
+    assert "agreement: True" in out
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", SLOW_EXAMPLES)
+def test_slow_examples_run(name, capsys):
+    out = run_example(name, capsys)
+    assert len(out.splitlines()) > 5

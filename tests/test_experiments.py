@@ -1,0 +1,150 @@
+"""Tests for the experiment drivers (repro.experiments) at quick scale."""
+
+import pytest
+
+from repro.experiments import figure2, table1, table2, table3, table4, table5
+from repro.experiments.report import banner, format_table, format_value
+from repro.mimo import MimoSystemConfig
+from repro.viterbi import ViterbiModelConfig
+
+QUICK_VITERBI = ViterbiModelConfig(traceback_length=3, num_levels=3, pm_max=3)
+
+
+class TestReportHelpers:
+    def test_format_value_scientific_for_extremes(self):
+        assert format_value(1.5e-7) == "1.500e-07"
+        assert format_value(0.25) == "0.25"
+        assert format_value(0.0) == "0"
+        assert format_value(12) == "12"
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbb"], [[1, 2.5], [10, 0.125]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        # All rows share the same width.
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["x"], [])
+        assert "x" in text
+
+    def test_banner(self):
+        text = banner("Hello")
+        assert text.splitlines()[1] == "Hello"
+
+
+class TestTable1:
+    def test_rows_and_shape(self):
+        rows = table1.run(QUICK_VITERBI, horizon=50)
+        assert [r.name for r in rows] == ["P1", "P2", "P3"]
+        for row in rows:
+            assert row.states_reduced < row.states_full
+            assert row.values_agree
+            assert 0 <= row.value_reduced <= 1
+
+    def test_main_prints_paper_reference(self, capsys):
+        table1.main(QUICK_VITERBI, horizon=50)
+        out = capsys.readouterr().out
+        assert "53558744" in out  # paper reference column
+        assert "shape checks" in out
+
+
+class TestTable2:
+    def test_factors(self):
+        rows = table2.run(
+            configs=[("1x2", MimoSystemConfig(num_rx=2, snr_db=8.0))]
+        )
+        assert rows[0].full_was_built
+        assert rows[0].reduction_factor > 5
+
+    def test_main_output(self, capsys):
+        table2.main(configs=[("1x2", MimoSystemConfig(num_rx=2, snr_db=8.0))])
+        out = capsys.readouterr().out
+        assert "Table II" in out
+
+
+class TestTable3:
+    def test_convergence_flags(self):
+        result = table3.run(QUICK_VITERBI, horizons=(20, 50, 100))
+        assert result.is_converged
+        assert result.values[-1] == pytest.approx(result.steady_state, rel=1e-6)
+        assert result.reachability_iterations >= 1
+
+    def test_main_output(self, capsys):
+        table3.main(QUICK_VITERBI, horizons=(20, 50))
+        out = capsys.readouterr().out
+        assert "RI" in out and "steady state" in out
+
+
+class TestTable4:
+    def test_result_structure(self):
+        result = table4.run(QUICK_VITERBI, horizons=(20, 60))
+        assert len(result.values) == 2
+        assert result.states < 100
+        assert 0 <= result.steady_state < 1
+
+    def test_default_config_is_paper_setting(self):
+        config = table4.default_config()
+        assert config.traceback_length == 8
+        assert config.snr_db == 8.0
+
+    def test_main_output(self, capsys):
+        table4.main(QUICK_VITERBI, horizons=(20, 60))
+        out = capsys.readouterr().out
+        assert "Table IV" in out
+
+
+class TestTable5:
+    def test_without_simulation(self):
+        result = table5.run(
+            configs=[("1x2", MimoSystemConfig(num_rx=2, snr_db=8.0))],
+            horizons=(5, 10),
+            with_simulation=False,
+        )
+        assert result.short_sim is None
+        assert result.rows[0].values[0] == pytest.approx(
+            result.rows[0].values[1]
+        )
+
+    def test_with_simulation_small(self):
+        result = table5.run(
+            configs=[
+                ("1x2", MimoSystemConfig(num_rx=2, snr_db=8.0)),
+                ("1x4", MimoSystemConfig(num_rx=4, snr_db=12.0)),
+            ],
+            horizons=(5,),
+            short_sim_steps=20_000,
+            long_sim_steps=50_000,
+        )
+        assert result.short_sim is not None
+        assert result.short_sim.errors == 0  # high diversity, short run
+
+    def test_main_output(self, capsys):
+        table5.main(
+            configs=[
+                ("1x2", MimoSystemConfig(num_rx=2, snr_db=8.0)),
+                ("1x4", MimoSystemConfig(num_rx=4, snr_db=12.0)),
+            ],
+            horizons=(5,),
+            with_simulation=False,
+        )
+        out = capsys.readouterr().out
+        assert "diversity gap" in out
+
+
+class TestFigure2:
+    def test_sweep_shape(self):
+        result = figure2.run(lengths=(2, 4, 6), snr_db=8.0)
+        assert result.is_decreasing
+        assert len(result.marginal_changes()) == 2
+
+    def test_horizon_variant(self):
+        steady = figure2.run(lengths=(3,), snr_db=8.0)
+        bounded = figure2.run(lengths=(3,), snr_db=8.0, horizon=400)
+        assert steady.values[0] == pytest.approx(bounded.values[0], rel=1e-6)
+
+    def test_main_output(self, capsys):
+        figure2.main(lengths=(2, 3, 4), snr_db=8.0)
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "*" in out  # the ascii plot

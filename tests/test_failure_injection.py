@@ -1,0 +1,119 @@
+"""Failure-injection tests: unsound inputs must be *detected*, not absorbed.
+
+The library's safety story is that reductions are verified, models are
+validated, and bad inputs fail loudly.  Each test here injects a
+specific defect and asserts the precise diagnostic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.reductions import (
+    LumpingError,
+    are_bisimilar,
+    quotient_by_function,
+    verify_permutation_invariance,
+)
+from repro.dtmc import DTMC, DTMCValidationError, build_dtmc, dtmc_from_dict
+from repro.pctl import PctlSemanticsError, PctlSyntaxError, check
+from repro.prog import ModelError, Module
+
+from helpers import two_state_chain
+
+
+class TestUnsoundAbstractionsAreCaught:
+    def test_merging_behaviourally_different_states(self):
+        """An abstraction that confuses a fast and a slow state fails
+        the strong-lumping check with a witness."""
+
+        def step(s):
+            if s == "fast":
+                return [(0.9, "goal"), (0.1, s)]
+            if s == "slow":
+                return [(0.1, "goal"), (0.9, s)]
+            return [(1.0, s)]
+
+        chain = build_dtmc(
+            step, initial=[(0.5, "fast"), (0.5, "slow")]
+        ).chain
+        with pytest.raises(LumpingError) as excinfo:
+            quotient_by_function(
+                chain, lambda s: "merged" if s != "goal" else s
+            )
+        assert "strongly lumpable" in str(excinfo.value)
+
+    def test_label_breaking_abstraction(self):
+        chain = two_state_chain(p=0.5, q=0.5)
+        with pytest.raises(LumpingError, match="label"):
+            quotient_by_function(chain, lambda s: "one")
+
+    def test_fake_symmetry_is_rejected(self):
+        """A permutation that is not an automorphism is reported."""
+        chain = dtmc_from_dict(
+            {"a": {"a": 0.9, "b": 0.1}, "b": {"a": 0.5, "b": 0.5}},
+            initial="a",
+        )
+        swap = lambda s: {"a": "b", "b": "a"}[s]  # noqa: E731
+        with pytest.raises(AssertionError, match="not invariant"):
+            verify_permutation_invariance(chain, swap)
+
+    def test_wrong_reduction_flagged_by_bisimilarity(self):
+        """A 'reduced' chain with subtly different dynamics is caught."""
+        good = two_state_chain(p=0.5, q=0.3)
+        bad = two_state_chain(p=0.5, q=0.31)
+        verdict = are_bisimilar(good, bad, respect=["in_b"])
+        assert not verdict.equivalent
+        assert verdict.witness is not None
+
+
+class TestModelDefectsAreCaught:
+    def test_probability_leak(self):
+        def leaky(state):
+            return [(0.7, state)]  # 0.3 missing
+
+        with pytest.raises(DTMCValidationError, match="sum"):
+            build_dtmc(leaky, initial=0)
+
+    def test_probability_overflow(self):
+        def overflowing(state):
+            return [(0.7, 0), (0.7, 1)]
+
+        with pytest.raises(DTMCValidationError, match="sum"):
+            build_dtmc(overflowing, initial=0)
+
+    def test_nan_probability_rejected(self):
+        matrix = np.array([[np.nan, 1.0], [0.0, 1.0]])
+        with pytest.raises(DTMCValidationError):
+            DTMC(matrix, 0)
+
+    def test_rtl_register_overflow_equivalent(self):
+        """The DSL catches assignments escaping declared widths —
+        the modeling analogue of an RTL overflow bug."""
+        m = Module("ctr")
+        x = m.int_var("x", 0, 3, init=0)
+        m.command(True, [(1.0, {x: x + 1})])
+        from repro.prog import explore_module
+
+        with pytest.raises(ModelError, match="domain"):
+            explore_module(m)
+
+
+class TestPropertyDefectsAreCaught:
+    def test_typo_in_label(self):
+        chain = two_state_chain()
+        with pytest.raises(PctlSemanticsError, match="in_bb"):
+            check(chain, "P=? [ F in_bb ]")
+
+    def test_query_nested_without_bound(self):
+        chain = two_state_chain()
+        with pytest.raises(PctlSemanticsError, match="bound"):
+            check(chain, "!P=? [ F in_b ]")
+
+    def test_syntax_error_names_offending_token(self):
+        with pytest.raises(PctlSyntaxError, match="U"):
+            check(two_state_chain(), "P=? [ in_b U ]")
+
+    def test_reward_name_typo(self):
+        chain = two_state_chain()
+        with pytest.raises(KeyError, match="hit"):
+            check(chain, 'R{"hits"}=? [ I=3 ]')

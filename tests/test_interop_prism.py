@@ -1,0 +1,166 @@
+"""Tests for the PRISM interoperability layer (repro.interop)."""
+
+import numpy as np
+import pytest
+
+from repro.core.reductions import are_bisimilar
+from repro.dtmc import distribution_at
+from repro.interop import (
+    from_prism_explicit,
+    module_to_prism,
+    render_expr,
+    to_prism_lab,
+    to_prism_srew,
+    to_prism_tra,
+    write_prism_files,
+)
+from repro.prog import Module, Var, ite, minimum
+from repro.viterbi import ViterbiModelConfig, build_reduced_model
+
+from helpers import knuth_yao_die, two_state_chain
+
+
+class TestExplicitExport:
+    def test_tra_header_and_lines(self):
+        chain = two_state_chain(p=0.25, q=0.75)
+        text = to_prism_tra(chain)
+        lines = text.strip().splitlines()
+        assert lines[0] == "2 4"
+        assert lines[1].startswith("0 0 ")
+        assert len(lines) == 5
+
+    def test_lab_header_ids(self):
+        chain = two_state_chain()
+        text = to_prism_lab(chain)
+        header = text.splitlines()[0]
+        assert '0="init"' in header
+        assert '1="in_b"' in header
+        # State 0 is initial, state 1 carries in_b.
+        assert "0: 0" in text
+        assert "1: 1" in text
+
+    def test_srew_nonzero_only(self):
+        chain = two_state_chain()
+        text = to_prism_srew(chain, "hit")
+        lines = text.strip().splitlines()
+        assert lines[0] == "2 1"
+        assert lines[1].split()[0] == "1"
+
+    def test_unknown_reward_rejected(self):
+        with pytest.raises(KeyError):
+            to_prism_srew(two_state_chain(), "nope")
+
+    def test_write_files(self, tmp_path):
+        chain = two_state_chain()
+        paths = write_prism_files(chain, str(tmp_path / "model"))
+        assert len(paths) == 3  # .tra, .lab, one .srew
+        for path in paths:
+            assert (tmp_path / path.split("/")[-1]).exists()
+
+
+class TestRoundTrip:
+    def test_two_state_round_trip_exact(self):
+        chain = two_state_chain(p=0.3, q=0.6)
+        back = from_prism_explicit(
+            to_prism_tra(chain),
+            to_prism_lab(chain),
+            {"hit": to_prism_srew(chain, "hit")},
+        )
+        assert np.allclose(
+            back.transition_matrix.toarray(),
+            chain.transition_matrix.toarray(),
+        )
+        assert np.array_equal(back.label_vector("in_b"), chain.label_vector("in_b"))
+        assert np.allclose(back.reward_vector("hit"), chain.reward_vector("hit"))
+        assert np.allclose(back.initial_distribution, chain.initial_distribution)
+
+    def test_die_round_trip_behaviour(self):
+        chain = knuth_yao_die()
+        back = from_prism_explicit(to_prism_tra(chain), to_prism_lab(chain))
+        verdict = are_bisimilar(chain, back, respect=["six"])
+        assert verdict.equivalent
+        assert np.allclose(
+            distribution_at(back, 10), distribution_at(chain, 10)
+        )
+
+    def test_viterbi_model_round_trip(self):
+        config = ViterbiModelConfig(traceback_length=3, num_levels=3, pm_max=3)
+        chain = build_reduced_model(config).chain
+        back = from_prism_explicit(
+            to_prism_tra(chain),
+            to_prism_lab(chain),
+            {"flag": to_prism_srew(chain, "flag")},
+        )
+        assert back.num_states == chain.num_states
+        assert np.allclose(
+            back.transition_matrix.toarray(),
+            chain.transition_matrix.toarray(),
+        )
+
+    def test_import_without_labels_defaults_initial(self):
+        chain = two_state_chain()
+        back = from_prism_explicit(to_prism_tra(chain))
+        assert back.initial_states() == [0]
+
+
+class TestExpressionRendering:
+    def test_arithmetic_and_comparison(self):
+        x = Var("x")
+        assert render_expr((x + 1) * 2) == "((x + 1) * 2)"
+        assert render_expr(x <= 3) == "(x <= 3)"
+        assert render_expr((x > 0) & (x < 5)) == "((x > 0) & (x < 5))"
+
+    def test_booleans_and_not(self):
+        x = Var("x")
+        assert render_expr(~(x == 1)) == "!((x = 1))"
+
+    def test_ite_and_min(self):
+        x = Var("x")
+        assert render_expr(ite(x > 0, 1, 2)) == "((x > 0) ? 1 : 2)"
+        assert render_expr(minimum(x, 7)) == "min(x, 7)"
+
+    def test_constants(self):
+        from repro.prog import Const
+
+        assert render_expr(Const(True)) == "true"
+        assert render_expr(Const(0.5)) == "0.5"
+
+
+class TestModuleExport:
+    def make_module(self):
+        m = Module("walker")
+        x = m.int_var("x", 0, 4, init=2)
+        b = m.bool_var("done", init=False)
+        m.command(x == 0, [(1.0, {x: x + 1})], label="reflect")
+        m.command(
+            (x > 0) & (x < 4),
+            [(0.5, {x: x - 1}), (0.5, {x: x + 1})],
+        )
+        m.command(x == 4, [(1.0, {b: True})], label="finish")
+        return m
+
+    def test_render_contains_declarations(self):
+        text = module_to_prism(self.make_module())
+        assert text.startswith("dtmc")
+        assert "module walker" in text
+        assert "x : [0..4] init 2;" in text
+        assert "done : bool init false;" in text
+        assert text.rstrip().endswith("endmodule")
+
+    def test_render_commands(self):
+        text = module_to_prism(self.make_module())
+        assert "[] (x = 0) -> 1.0 : (x'=(x + 1)); // reflect" in text
+        assert "0.5 : (x'=(x - 1)) + 0.5 : (x'=(x + 1));" in text
+
+    def test_empty_update_renders_true(self):
+        m = Module("idle")
+        m.int_var("x", 0, 1)
+        m.command(True, [(1.0, {})])
+        assert "1.0 : true;" in module_to_prism(m)
+
+    def test_non_contiguous_domain_rejected(self):
+        m = Module("bad")
+        m.enum_var("e", [0, 2, 5])
+        m.command(True, [(1.0, {})])
+        with pytest.raises(ValueError, match="contiguous"):
+            module_to_prism(m)

@@ -1,0 +1,243 @@
+"""Tests for the MIMO detector: ML rule, DTMC model, symmetry soundness."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro.comm import bpsk_diversity_ber, noise_sigma
+from repro.core.reductions import (
+    are_bisimilar,
+    quotient_by_function,
+    verify_permutation_invariance,
+)
+from repro.mimo import (
+    MimoState,
+    MimoSystemConfig,
+    QuantizedMLDetector,
+    block_metrics,
+    block_values,
+    bpsk_candidates,
+    build_detector_model,
+    full_state_count,
+    ml_detect,
+    ml_detect_batch,
+    reduced_state_count,
+    step_distribution_full,
+    step_distribution_reduced,
+)
+from repro.pctl import check
+
+CFG_1X2 = MimoSystemConfig(num_rx=2, snr_db=8.0)
+CFG_1X4 = MimoSystemConfig(num_rx=4, snr_db=12.0)
+TINY = MimoSystemConfig(num_rx=2, snr_db=8.0, num_y_levels=2)
+
+
+class TestMLDetector:
+    def test_candidates_bit_order(self):
+        c = bpsk_candidates(2)
+        assert c.tolist() == [[-1, -1], [-1, 1], [1, -1], [1, 1]]
+
+    def test_block_metrics_layout(self):
+        y = np.array([1 + 2j, 3 + 4j])
+        h = np.array([[1.0], [1.0]])
+        m = block_metrics(y, h, np.array([1.0]))
+        assert m.tolist() == [0.0, 2.0, 2.0, 4.0]
+
+    def test_detect_noiseless(self):
+        h = np.array([[0.8 + 0.1j], [0.5 - 0.3j]])
+        for bit in (0, 1):
+            s = 2.0 * bit - 1.0
+            y = (h * s).ravel()
+            assert ml_detect(y, h).tolist() == [bit]
+
+    def test_detect_2x2_noiseless(self):
+        rng = np.random.default_rng(0)
+        h = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+        for bits in itertools.product((0, 1), repeat=2):
+            s = 2.0 * np.asarray(bits) - 1.0
+            y = h @ s
+            assert ml_detect(y, h).tolist() == list(bits)
+
+    def test_batch_matches_scalar(self):
+        rng = np.random.default_rng(1)
+        n = 50
+        h = rng.normal(size=(n, 2, 1)) + 1j * rng.normal(size=(n, 2, 1))
+        y = rng.normal(size=(n, 2)) + 1j * rng.normal(size=(n, 2))
+        batch = ml_detect_batch(y, h)
+        for k in range(n):
+            assert batch[k].tolist() == ml_detect(y[k], h[k]).tolist()
+
+    def test_batch_ber_matches_diversity_theory(self):
+        snr_db = 6.0
+        rng = np.random.default_rng(2)
+        cfg = MimoSystemConfig(num_rx=2, snr_db=snr_db)
+        channel = cfg.make_channel(rng)
+        n = 150_000
+        bits = rng.integers(0, 2, n)
+        x = (2.0 * bits - 1.0).reshape(-1, 1).astype(complex)
+        y, h = channel.transmit_block(x)
+        detected = ml_detect_batch(y, h)[:, 0]
+        ber = float(np.mean(detected != bits))
+        # The L1 (Eq. 15) metric is slightly suboptimal vs matched
+        # filtering, so allow a generous band around MRC theory.
+        reference = bpsk_diversity_ber(snr_db, 2)
+        assert 0.3 * reference < ber < 3.0 * reference
+
+    def test_quantized_detector_tie_breaks_to_zero(self):
+        detector = QuantizedMLDetector()
+        assert detector.detect([(0.75, 0.0), (0.75, 0.0)]) == 0
+
+    def test_quantized_detector_majority(self):
+        detector = QuantizedMLDetector()
+        blocks = [(0.75, 0.75), (0.75, 0.75), (0.75, -0.75)]
+        assert detector.detect(blocks) == 1
+
+
+class TestStateCounts:
+    def test_full_count_matches_built_model(self):
+        full = build_detector_model(CFG_1X2, reduced=False)
+        assert full.num_states == full_state_count(CFG_1X2)
+
+    def test_reduced_count_matches_built_model(self):
+        reduced = build_detector_model(CFG_1X2, reduced=True)
+        assert reduced.num_states == reduced_state_count(CFG_1X2)
+
+    def test_reduction_factor_grows_with_antennas(self):
+        """Table II shape: 1x4 reduction factor >> 1x2 factor."""
+        factor_1x2 = full_state_count(CFG_1X2) / reduced_state_count(CFG_1X2)
+        factor_1x4 = full_state_count(CFG_1X4) / reduced_state_count(CFG_1X4)
+        assert factor_1x4 > 10 * factor_1x2
+        assert factor_1x2 > 5
+
+    def test_distribution_sizes(self):
+        full = step_distribution_full(TINY)
+        reduced = step_distribution_reduced(TINY)
+        assert len(full) == 2 * (2 * 2) ** 4
+        assert len(reduced) == 2 * math.comb(4 + 4 - 1, 4)
+
+
+class TestDistributions:
+    def test_full_distribution_sums_to_one(self):
+        total = sum(p for p, _ in step_distribution_full(TINY))
+        assert total == pytest.approx(1.0)
+
+    def test_reduced_distribution_sums_to_one(self):
+        total = sum(p for p, _ in step_distribution_reduced(TINY))
+        assert total == pytest.approx(1.0)
+
+    def test_reduced_aggregates_full(self):
+        """The multiset probability equals the summed ordered-tuple mass."""
+        full = step_distribution_full(TINY)
+        reduced = dict()
+        for p, state in step_distribution_reduced(TINY):
+            reduced[state] = reduced.get(state, 0.0) + p
+        aggregated = dict()
+        for p, state in full:
+            key = MimoState(state.x, tuple(sorted(state.blocks)))
+            aggregated[key] = aggregated.get(key, 0.0) + p
+        assert set(reduced) == set(aggregated)
+        for key, value in aggregated.items():
+            assert reduced[key] == pytest.approx(value)
+
+
+class TestSymmetrySoundness:
+    def test_block_swap_is_automorphism(self):
+        full = build_detector_model(TINY, reduced=False)
+
+        def swap(state):
+            blocks = list(state.blocks)
+            blocks[0], blocks[1] = blocks[1], blocks[0]
+            return MimoState(state.x, tuple(blocks))
+
+        # The cold-start initial state is symmetric (all blocks equal),
+        # so the full labeled chain must be invariant under the swap.
+        assert verify_permutation_invariance(full.chain, swap)
+
+    def test_quotient_by_sorting_is_lumpable(self):
+        full = build_detector_model(TINY, reduced=False)
+        result = quotient_by_function(
+            full.chain, lambda s: MimoState(s.x, tuple(sorted(s.blocks)))
+        )
+        assert result.num_blocks == reduced_state_count(TINY)
+
+    def test_full_and_reduced_bisimilar(self):
+        full = build_detector_model(TINY, reduced=False)
+        reduced = build_detector_model(TINY, reduced=True)
+        verdict = are_bisimilar(full.chain, reduced.chain, respect=["flag"])
+        assert verdict.equivalent, verdict.witness
+
+    def test_ber_identical_between_full_and_reduced(self):
+        full = build_detector_model(CFG_1X2, reduced=False)
+        reduced = build_detector_model(CFG_1X2, reduced=True)
+        b_full = check(full.chain, "S=? [ flag ]").value
+        b_reduced = check(reduced.chain, "S=? [ flag ]").value
+        assert b_full == pytest.approx(b_reduced, abs=1e-12)
+
+
+class TestPaperShapes:
+    def test_diversity_orders_of_magnitude(self):
+        """Table V shape: the 1x4 BER is far below the 1x2 BER."""
+        ber_1x2 = check(
+            build_detector_model(CFG_1X2).chain, "S=? [ flag ]"
+        ).value
+        ber_1x4 = check(
+            build_detector_model(CFG_1X4).chain, "S=? [ flag ]"
+        ).value
+        assert ber_1x4 < ber_1x2 / 100
+        assert ber_1x2 > 1e-5
+
+    def test_instantaneous_reward_reaches_steady_immediately(self):
+        """The detector redraws everything per cycle: R[I=T] is flat in
+        T (the explicit-state analogue of the paper's RI=3)."""
+        chain = build_detector_model(CFG_1X2).chain
+        values = [check(chain, f"R=? [ I={t} ]").value for t in (5, 10, 20)]
+        assert values[0] == pytest.approx(values[1])
+        assert values[1] == pytest.approx(values[2])
+
+    def test_ber_decreases_with_snr(self):
+        bers = []
+        for snr in (4.0, 8.0, 12.0):
+            cfg = MimoSystemConfig(num_rx=2, snr_db=snr)
+            bers.append(
+                check(build_detector_model(cfg).chain, "S=? [ flag ]").value
+            )
+        assert bers[0] > bers[1] > bers[2]
+
+    def test_branch_cutoff_prunes_rare_outcomes(self):
+        pruned = build_detector_model(CFG_1X4, branch_cutoff=1e-15)
+        unpruned = build_detector_model(CFG_1X4)
+        assert pruned.discarded_branches > 0
+        assert pruned.num_states <= unpruned.num_states
+        # BER unaffected at this cutoff.
+        b_pruned = check(pruned.chain, "S=? [ flag ]").value
+        b_unpruned = check(unpruned.chain, "S=? [ flag ]").value
+        assert b_pruned == pytest.approx(b_unpruned, abs=1e-8)
+
+
+class TestModelMatchesSimulation:
+    def test_monte_carlo_quantized_pipeline_matches_model(self):
+        """Simulating the quantized datapath reproduces the model BER."""
+        cfg = CFG_1X2
+        model_ber = check(build_detector_model(cfg).chain, "S=? [ flag ]").value
+
+        rng = np.random.default_rng(3)
+        hq = cfg.make_h_quantizer()
+        yq = cfg.make_y_quantizer()
+        detector = QuantizedMLDetector()
+        n = 400_000
+        bits = rng.integers(0, 2, n)
+        symbols = 2.0 * bits - 1.0
+        errors = 0
+        # Vectorized: per-dimension h levels and y levels.
+        h = rng.normal(0.0, math.sqrt(0.5), (n, cfg.num_blocks))
+        h_val = hq.quantize(h)
+        noise = rng.normal(0.0, cfg.sigma, (n, cfg.num_blocks))
+        y_val = yq.quantize(h_val * symbols[:, None] + noise)
+        metric_minus = np.abs(y_val + h_val).sum(axis=1)
+        metric_plus = np.abs(y_val - h_val).sum(axis=1)
+        detected = (metric_minus > metric_plus).astype(np.int64)
+        ber = float(np.mean(detected != bits))
+        tolerance = 4.0 * math.sqrt(model_ber * (1 - model_ber) / n) + 1e-5
+        assert abs(ber - model_ber) < max(tolerance, 0.25 * model_ber)

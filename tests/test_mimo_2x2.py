@@ -1,0 +1,121 @@
+"""Tests for the N_R x 2 MIMO detector DTMC (the paper's Eq. 14 shape)."""
+
+import numpy as np
+import pytest
+
+from repro.core.reductions import are_bisimilar, quotient_by_function
+from repro.mimo import (
+    Mimo2x2State,
+    MimoSystemConfig,
+    build_detector_model_2tx,
+    detect_pair_from_blocks,
+    full_state_count_2tx,
+    reduced_state_count_2tx,
+    step_distribution_2tx,
+)
+from repro.pctl import check
+
+SMALL = MimoSystemConfig(num_rx=1, snr_db=8.0, num_y_levels=2)
+PAPER_2X2 = MimoSystemConfig(num_rx=2, snr_db=8.0, num_y_levels=2)
+
+
+class TestDetection:
+    def test_noiseless_decisions(self):
+        # Blocks consistent with s = (+1, +1): y = h1 + h2.
+        blocks = [(0.75, 0.75, 1.5), (0.75, -0.75, 0.0)]
+        assert detect_pair_from_blocks(blocks) == (1, 1)
+
+    def test_tie_breaks_to_lowest_pattern(self):
+        # Zero observations: every candidate ties; (0, 0) wins.
+        blocks = [(0.75, -0.75, 0.0)]
+        assert detect_pair_from_blocks(blocks) == (0, 0)
+
+    def test_antenna_resolution(self):
+        # Antennas with opposite fading signs are separable.
+        blocks = [(0.75, -0.75, 1.5)]  # fits s1=+1, s2=-1
+        assert detect_pair_from_blocks(blocks) == (1, 0)
+
+
+class TestDistributions:
+    def test_reduced_distribution_sums_to_one(self):
+        total = sum(p for p, _ in step_distribution_2tx(SMALL, reduced=True))
+        assert total == pytest.approx(1.0)
+
+    def test_full_distribution_sums_to_one(self):
+        total = sum(p for p, _ in step_distribution_2tx(SMALL, reduced=False))
+        assert total == pytest.approx(1.0)
+
+    def test_counts_match_formulas(self):
+        full = build_detector_model_2tx(SMALL, reduced=False)
+        reduced = build_detector_model_2tx(SMALL, reduced=True)
+        assert full.num_states == full_state_count_2tx(SMALL)
+        assert reduced.num_states == reduced_state_count_2tx(SMALL)
+
+    def test_paper_2x2_scale(self):
+        reduced = build_detector_model_2tx(PAPER_2X2, reduced=True)
+        assert reduced.num_states == reduced_state_count_2tx(PAPER_2X2)
+        assert full_state_count_2tx(PAPER_2X2) > 10 * reduced.num_states
+
+
+class TestSymmetrySoundness:
+    def test_full_and_reduced_bisimilar(self):
+        full = build_detector_model_2tx(SMALL, reduced=False)
+        reduced = build_detector_model_2tx(SMALL, reduced=True)
+        verdict = are_bisimilar(full.chain, reduced.chain, respect=["flag"])
+        assert verdict.equivalent, verdict.witness
+
+    def test_sorting_quotient_is_lumpable(self):
+        full = build_detector_model_2tx(SMALL, reduced=False)
+        result = quotient_by_function(
+            full.chain, lambda s: Mimo2x2State(s.x, tuple(sorted(s.blocks)))
+        )
+        assert result.num_blocks == reduced_state_count_2tx(SMALL)
+
+    def test_ver_identical_between_models(self):
+        full = build_detector_model_2tx(SMALL, reduced=False)
+        reduced = build_detector_model_2tx(SMALL, reduced=True)
+        assert check(full.chain, "S=? [ flag ]").value == pytest.approx(
+            check(reduced.chain, "S=? [ flag ]").value, abs=1e-12
+        )
+
+
+class TestMeasures:
+    def test_biterr_at_most_flag(self):
+        """Per-bit error rate <= vector error rate, >= half of it."""
+        chain = build_detector_model_2tx(PAPER_2X2).chain
+        ver = check(chain, "S=? [ flag ]").value
+        ber = check(chain, 'R{"biterr"}=? [ S ]').value
+        assert ber <= ver + 1e-12
+        assert ber >= ver / 2 - 1e-12
+
+    def test_finer_y_quantizer_improves_ber(self):
+        """The coarse-quantization penalty: 1-bit y observations alias
+        the four candidates (the same effect that explains the paper's
+        anomalously high 1x2 BER in Table V)."""
+        coarse = MimoSystemConfig(num_rx=1, snr_db=8.0, num_y_levels=2)
+        fine = MimoSystemConfig(num_rx=1, snr_db=8.0, num_y_levels=5)
+        ber_coarse = check(
+            build_detector_model_2tx(coarse).chain, 'R{"biterr"}=? [ S ]'
+        ).value
+        ber_fine = check(
+            build_detector_model_2tx(fine).chain, 'R{"biterr"}=? [ S ]'
+        ).value
+        assert ber_fine < ber_coarse
+
+    def test_more_antennas_improve_ber(self):
+        one_rx = MimoSystemConfig(num_rx=1, snr_db=8.0, num_y_levels=2)
+        two_rx = MimoSystemConfig(num_rx=2, snr_db=8.0, num_y_levels=2)
+        ber_one = check(
+            build_detector_model_2tx(one_rx).chain, 'R{"biterr"}=? [ S ]'
+        ).value
+        ber_two = check(
+            build_detector_model_2tx(two_rx).chain, 'R{"biterr"}=? [ S ]'
+        ).value
+        assert ber_two < ber_one
+
+    def test_flat_in_horizon(self):
+        chain = build_detector_model_2tx(SMALL).chain
+        values = [
+            check(chain, f'R{{"biterr"}}=? [ I={t} ]').value for t in (5, 20)
+        ]
+        assert values[0] == pytest.approx(values[1])

@@ -1,0 +1,228 @@
+"""Unit tests for the pCTL model checker (repro.pctl.checker)."""
+
+import math
+from collections import namedtuple
+
+import numpy as np
+import pytest
+
+from repro.dtmc import DTMC, build_dtmc, dtmc_from_dict
+from repro.pctl import ModelChecker, PctlSemanticsError, check, parse_formula
+
+from helpers import gamblers_ruin, knuth_yao_die, two_state_chain
+
+
+class TestBooleanLayer:
+    def test_label_satisfaction(self):
+        chain = two_state_chain()
+        checker = ModelChecker(chain)
+        assert checker.satisfaction(parse_formula("in_b")).tolist() == [False, True]
+
+    def test_boolean_connectives(self):
+        chain = two_state_chain()
+        checker = ModelChecker(chain)
+        assert checker.satisfaction(parse_formula("!in_b | in_b")).all()
+        assert not checker.satisfaction(parse_formula("in_b & !in_b")).any()
+        assert checker.satisfaction(parse_formula("in_b => in_b")).all()
+
+    def test_top_level_boolean_checks_initial_states(self):
+        chain = two_state_chain()  # initial state is "a"
+        assert check(chain, "!in_b").value is True
+        assert check(chain, "in_b").value is False
+
+    def test_unknown_atom_raises(self):
+        chain = DTMC(np.eye(2), 0)  # no labels, no state objects
+        with pytest.raises(PctlSemanticsError, match="no state"):
+            check(chain, "mystery")
+
+
+class TestVariableAtoms:
+    State = namedtuple("State", ["count", "flag"])
+
+    def make_chain(self):
+        def step(s):
+            if s.count >= 2:
+                return [(1.0, s)]
+            return [
+                (0.5, self.State(s.count + 1, False)),
+                (0.5, self.State(s.count + 1, True)),
+            ]
+
+        return build_dtmc(step, initial=self.State(0, False)).chain
+
+    def test_namedtuple_attribute_comparison(self):
+        chain = self.make_chain()
+        result = check(chain, "P=? [ F<=2 count>=2 ]")
+        assert result.value == pytest.approx(1.0)
+
+    def test_boolean_variable_as_atom(self):
+        chain = self.make_chain()
+        result = check(chain, "P=? [ F<=2 flag ]")
+        assert result.value == pytest.approx(0.75)
+
+    def test_dict_states(self):
+        chain = dtmc_from_dict(
+            {0: {1: 1.0}, 1: {1: 1.0}}, initial=0
+        )
+        chain.states = [{"level": 0}, {"level": 7}]
+        assert check(chain, "P=? [ X level=7 ]").value == pytest.approx(1.0)
+
+    def test_missing_variable_raises(self):
+        chain = self.make_chain()
+        with pytest.raises(PctlSemanticsError, match="nope"):
+            check(chain, "nope>3")
+
+
+class TestBoundedOperators:
+    def test_bounded_eventually_die(self):
+        chain = knuth_yao_die()
+        # P(done within 3 flips of the 3-level tree) = 6/8
+        assert check(chain, "P=? [ F<=3 done ]").value == pytest.approx(0.75)
+
+    def test_bounded_globally_matches_complement(self):
+        chain = two_state_chain(p=0.3, q=0.1)
+        g = check(chain, "P=? [ G<=5 !in_b ]").value
+        f = check(chain, "P=? [ F<=5 in_b ]").value
+        assert g == pytest.approx(1.0 - f)
+
+    def test_bounded_until_respects_left_constraint(self):
+        chain = knuth_yao_die()
+        # Reaching "six" without ever passing through s2 is impossible.
+        chain.add_label_from_predicate("not_s2", lambda s: s != "s2")
+        assert check(chain, "P=? [ not_s2 U<=50 six ]").value == pytest.approx(0.0)
+
+    def test_next(self):
+        chain = knuth_yao_die()
+        assert check(chain, "P=? [ X done ]").value == pytest.approx(0.0)
+        chain2 = two_state_chain(p=0.25)
+        assert check(chain2, "P=? [ X in_b ]").value == pytest.approx(0.25)
+
+    def test_bound_decision(self):
+        chain = knuth_yao_die()
+        assert check(chain, "P>=0.7 [ F<=3 done ]").value is True
+        assert check(chain, "P>=0.8 [ F<=3 done ]").value is False
+
+
+class TestUnboundedOperators:
+    def test_die_faces_are_uniform(self):
+        chain = knuth_yao_die()
+        for face in ["one", "two", "three", "four", "five", "six"]:
+            assert check(chain, f"P=? [ F {face} ]").value == pytest.approx(1 / 6)
+
+    def test_eventually_certain(self):
+        chain = knuth_yao_die()
+        assert check(chain, "P=? [ F done ]").value == pytest.approx(1.0)
+
+    def test_gamblers_ruin_unbounded(self):
+        chain = gamblers_ruin(n=4, p=0.5)
+        assert check(chain, "P=? [ F win ]").value == pytest.approx(0.5)
+        assert check(chain, "P=? [ F ruin ]").value == pytest.approx(0.5)
+
+    def test_until_with_constraint(self):
+        chain = gamblers_ruin(n=4, p=0.5)
+        # Win while staying above 1.  Solving x2 = x3/2, x3 = 1/2 + x2/2
+        # (oscillation 2<->3 is allowed) gives x2 = 1/3.
+        chain.add_label_from_predicate("above1", lambda s: s > 1)
+        assert check(chain, "P=? [ above1 U win ]").value == pytest.approx(1 / 3)
+
+    def test_unbounded_globally(self):
+        chain = gamblers_ruin(n=4, p=0.5)
+        chain.add_label_from_predicate("not_ruin", lambda s: s != 0)
+        assert check(chain, "P=? [ G not_ruin ]").value == pytest.approx(0.5)
+
+    def test_prob0_region(self):
+        chain = knuth_yao_die()
+        # From the d1 absorbing state, "six" is unreachable.
+        result = check(chain, "P=? [ F six ]")
+        d1 = chain.states.index("d1")
+        assert result.vector[d1] == pytest.approx(0.0)
+
+    def test_prob1_region(self):
+        chain = knuth_yao_die()
+        result = check(chain, "P=? [ F done ]")
+        assert np.allclose(result.vector, 1.0)
+
+
+class TestSteadyState:
+    def test_steady_probability(self):
+        chain = two_state_chain(p=0.5, q=0.3)
+        assert check(chain, "S=? [ in_b ]").value == pytest.approx(0.5 / 0.8)
+
+    def test_steady_bound(self):
+        chain = two_state_chain(p=0.5, q=0.3)
+        assert check(chain, "S>=0.6 [ in_b ]").value is True
+        assert check(chain, "S>=0.7 [ in_b ]").value is False
+
+
+class TestRewards:
+    def test_instantaneous(self):
+        chain = two_state_chain(p=0.25, q=0.75)
+        assert check(chain, "R=? [ I=1 ]").value == pytest.approx(0.25)
+
+    def test_instantaneous_zero(self):
+        chain = two_state_chain()
+        assert check(chain, "R=? [ I=0 ]").value == pytest.approx(0.0)
+
+    def test_instantaneous_converges_to_steady(self):
+        chain = two_state_chain(p=0.5, q=0.3)
+        at_large_t = check(chain, "R=? [ I=200 ]").value
+        steady = check(chain, "S=? [ in_b ]").value
+        assert at_large_t == pytest.approx(steady, abs=1e-9)
+
+    def test_cumulative(self):
+        chain = two_state_chain(p=0.5, q=0.5)
+        expected = sum(
+            check(chain, f"R=? [ I={t} ]").value for t in range(4)
+        )
+        assert check(chain, "R=? [ C<=4 ]").value == pytest.approx(expected)
+
+    def test_named_reward(self):
+        chain = two_state_chain()
+        chain.rewards["other"] = np.array([5.0, 0.0])
+        assert check(chain, 'R{"other"}=? [ I=0 ]').value == pytest.approx(5.0)
+
+    def test_unnamed_reward_ambiguous(self):
+        chain = two_state_chain()
+        chain.rewards["other"] = np.array([5.0, 0.0])
+        with pytest.raises(PctlSemanticsError, match="reward"):
+            check(chain, "R=? [ I=0 ]")
+
+    def test_reachability_reward_expected_flips(self):
+        # Expected steps to absorb in the die chain = 11/3 (Knuth-Yao).
+        chain = knuth_yao_die()
+        chain.add_reward_from_function("steps", lambda s: 1.0)
+        result = check(chain, 'R{"steps"}=? [ F done ]')
+        assert result.value == pytest.approx(11 / 3)
+
+    def test_reachability_reward_infinite_when_unreachable(self):
+        chain = gamblers_ruin(n=4, p=0.5)
+        chain.add_reward_from_function("steps", lambda s: 1.0)
+        result = check(chain, 'R{"steps"}=? [ F win ]')
+        assert math.isinf(result.value)
+
+    def test_long_run_reward(self):
+        chain = two_state_chain(p=0.5, q=0.3)
+        assert check(chain, "R=? [ S ]").value == pytest.approx(0.625)
+
+
+class TestNestedFormulas:
+    def test_bounded_operator_nested(self):
+        chain = gamblers_ruin(n=4, p=0.5)
+        # States that win with probability > 0.49 are {2, 3, 4}.  (The
+        # threshold deliberately avoids the exact value 0.5, where the
+        # linear solver's last-ulp rounding would make the test flaky.)
+        checker = ModelChecker(chain)
+        sat = checker.satisfaction(parse_formula("P>=0.49 [ F win ]"))
+        winners = {chain.states[i] for i in np.nonzero(sat)[0]}
+        assert winners == {2, 3, 4}
+
+    def test_nested_query_without_bound_rejected(self):
+        chain = two_state_chain()
+        with pytest.raises(PctlSemanticsError, match="bound"):
+            check(chain, "P=? [ F in_b ] & in_b")
+
+    def test_probability_of_reaching_good_region(self):
+        chain = gamblers_ruin(n=4, p=0.5)
+        value = check(chain, "P=? [ F P>=0.74 [ F win ] ]").value
+        # P(F win)=0.75 exactly at state 3; from 2, P(reach {3,4}) = 2/3.
+        assert value == pytest.approx(2 / 3)

@@ -1,0 +1,85 @@
+"""Tests for the weak-until operator (W) across parser and checker."""
+
+import numpy as np
+import pytest
+
+from repro.dtmc import dtmc_from_dict
+from repro.pctl import Bound, Label, ProbQuery, WeakUntil, check, parse_formula
+
+from helpers import gamblers_ruin, two_state_chain
+
+
+def branching_chain():
+    """s -> goal (0.25) | trap (0.25) | stay (0.5); safe = {s, goal}."""
+    return dtmc_from_dict(
+        {
+            "s": {"s": 0.5, "g": 0.25, "bad": 0.25},
+            "g": {"g": 1.0},
+            "bad": {"bad": 1.0},
+        },
+        initial="s",
+        labels={"safe": ["s", "g"], "goal": ["g"]},
+    )
+
+
+class TestParsing:
+    def test_unbounded(self):
+        formula = parse_formula("P=? [ safe W goal ]")
+        assert formula == ProbQuery(
+            WeakUntil(Label("safe"), Label("goal")), Bound(None)
+        )
+
+    def test_bounded(self):
+        formula = parse_formula("P=? [ safe W<=10 goal ]")
+        assert formula.path.bound == 10
+
+    def test_round_trip(self):
+        for text in ["P=? [ safe W goal ]", "P=? [ safe W<=10 goal ]"]:
+            assert parse_formula(str(parse_formula(text))) == formula_norm(text)
+
+
+def formula_norm(text):
+    return parse_formula(text)
+
+
+class TestSemantics:
+    def test_weak_until_at_least_until(self):
+        """W is weaker than U: P(a W b) >= P(a U b) everywhere."""
+        chain = gamblers_ruin(n=4, p=0.5)
+        chain.add_label_from_predicate("mid", lambda s: 0 < s < 4)
+        chain.add_label_from_predicate("win", lambda s: s == 4)
+        w = check(chain, "P=? [ mid W win ]")
+        u = check(chain, "P=? [ mid U win ]")
+        assert np.all(w.vector >= u.vector - 1e-12)
+
+    def test_violation_complement(self):
+        chain = branching_chain()
+        # Violation requires entering `bad` before `goal`: prob 0.5.
+        assert check(chain, "P=? [ safe W goal ]").value == pytest.approx(0.5)
+
+    def test_globally_as_weak_until_false(self):
+        chain = branching_chain()
+        g = check(chain, "P=? [ G safe ]").value
+        w = check(chain, "P=? [ safe W false ]").value
+        assert g == pytest.approx(w)
+
+    def test_bounded_weak_until(self):
+        chain = branching_chain()
+        # Within 1 step the only violation is the direct jump to bad.
+        assert check(chain, "P=? [ safe W<=1 goal ]").value == pytest.approx(0.75)
+        # Bound 0: nothing can have gone wrong yet.
+        assert check(chain, "P=? [ safe W<=0 goal ]").value == pytest.approx(1.0)
+
+    def test_true_weak_until_anything_is_one(self):
+        chain = two_state_chain()
+        assert check(chain, "P=? [ true W in_b ]").value == pytest.approx(1.0)
+
+    def test_decreasing_in_bound(self):
+        chain = branching_chain()
+        values = [
+            check(chain, f"P=? [ safe W<={t} goal ]").value for t in range(6)
+        ]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+        # Converges to the unbounded value from above.
+        unbounded = check(chain, "P=? [ safe W goal ]").value
+        assert values[-1] >= unbounded

@@ -1,0 +1,238 @@
+"""Unit tests for the guarded-command modeling language (repro.prog)."""
+
+import pytest
+
+from repro.dtmc import stationary_distribution
+from repro.pctl import check
+from repro.prog import (
+    Const,
+    ModelError,
+    Module,
+    Var,
+    compile_module,
+    explore_module,
+    ite,
+    maximum,
+    minimum,
+)
+
+
+def make_walk(lo=0, hi=4, start=2):
+    m = Module("walk")
+    x = m.int_var("x", lo, hi, init=start)
+    m.command(x == lo, [(1.0, {x: x + 1})], label="reflect_low")
+    m.command(x == hi, [(1.0, {x: x - 1})], label="reflect_high")
+    m.command(
+        (x > lo) & (x < hi),
+        [(0.5, {x: x - 1}), (0.5, {x: x + 1})],
+        label="step",
+    )
+    return m
+
+
+class TestExpressions:
+    def test_arithmetic(self):
+        x = Var("x")
+        env = {"x": 3}
+        assert (x + 1).evaluate(env) == 4
+        assert (2 * x - 1).evaluate(env) == 5
+        assert (x % 2).evaluate(env) == 1
+        assert (x // 2).evaluate(env) == 1
+        assert (-x).evaluate(env) == -3
+
+    def test_comparisons_and_logic(self):
+        x = Var("x")
+        env = {"x": 3}
+        assert (x == 3).evaluate(env)
+        assert (x != 4).evaluate(env)
+        assert ((x > 1) & (x < 5)).evaluate(env)
+        assert ((x < 1) | (x >= 3)).evaluate(env)
+        assert (~(x < 1)).evaluate(env)
+
+    def test_ite_and_minmax(self):
+        x = Var("x")
+        assert ite(x > 0, "pos", "neg").evaluate({"x": 1}) == "pos"
+        assert ite(x > 0, "pos", "neg").evaluate({"x": -1}) == "neg"
+        assert minimum(x, 2).evaluate({"x": 5}) == 2
+        assert maximum(x, 2).evaluate({"x": 5}) == 5
+
+    def test_unknown_variable(self):
+        with pytest.raises(NameError, match="y"):
+            Var("y").evaluate({"x": 1})
+
+    def test_variables_set(self):
+        x, y = Var("x"), Var("y")
+        assert (x + y * 2).variables() == {"x", "y"}
+        assert Const(5).variables() == frozenset()
+
+
+class TestModuleDeclaration:
+    def test_duplicate_variable_rejected(self):
+        m = Module("m")
+        m.int_var("x", 0, 1)
+        with pytest.raises(ModelError, match="twice"):
+            m.int_var("x", 0, 1)
+
+    def test_bad_range_rejected(self):
+        m = Module("m")
+        with pytest.raises(ModelError):
+            m.int_var("x", 5, 2)
+
+    def test_init_outside_domain_rejected(self):
+        m = Module("m")
+        with pytest.raises(ModelError, match="outside"):
+            m.int_var("x", 0, 3, init=7)
+
+    def test_assignment_to_undeclared_rejected(self):
+        m = Module("m")
+        x = m.int_var("x", 0, 1)
+        with pytest.raises(ModelError, match="undeclared"):
+            m.command(x == 0, [(1.0, {"ghost": 1})])
+
+    def test_domain_size(self):
+        m = Module("m")
+        m.int_var("x", 0, 4)
+        m.bool_var("b")
+        assert m.domain_size() == 10
+
+    def test_empty_module_rejected(self):
+        with pytest.raises(ModelError, match="variables"):
+            compile_module(Module("empty"))
+
+
+class TestSemantics:
+    def test_walk_statespace(self):
+        result = explore_module(make_walk())
+        assert result.num_states == 5
+
+    def test_unassigned_variables_keep_value(self):
+        m = Module("m")
+        x = m.int_var("x", 0, 3, init=0)
+        y = m.int_var("y", 0, 3, init=2)
+        m.command(x < 3, [(1.0, {x: x + 1})])
+        m.command(x == 3, [(1.0, {})])
+        result = explore_module(m)
+        assert all(s.y == 2 for s in result.states)
+
+    def test_simultaneous_update_reads_old_values(self):
+        # Classic swap: both assignments read the pre-state.
+        m = Module("swap")
+        a = m.int_var("a", 0, 1, init=0)
+        b = m.int_var("b", 0, 1, init=1)
+        m.command(True, [(1.0, {a: b, b: a})])
+        compiled = compile_module(m)
+        ((_, nxt),) = compiled.transition(compiled.initial_state)
+        assert (nxt.a, nxt.b) == (1, 0)
+
+    def test_no_enabled_command_raises(self):
+        m = Module("m")
+        x = m.int_var("x", 0, 3, init=0)
+        m.command(x == 0, [(1.0, {x: 3})])  # state x=3 has no command
+        with pytest.raises(ModelError, match="no command enabled"):
+            explore_module(m)
+
+    def test_overlapping_guards_raise(self):
+        m = Module("m")
+        x = m.int_var("x", 0, 3, init=0)
+        m.command(x >= 0, [(1.0, {x: 0})], label="first")
+        m.command(x == 0, [(1.0, {x: 1})], label="second")
+        with pytest.raises(ModelError, match="nondeterminism"):
+            explore_module(m)
+
+    def test_domain_escape_raises(self):
+        m = Module("m")
+        x = m.int_var("x", 0, 3, init=3)
+        m.command(True, [(1.0, {x: x + 1})])
+        with pytest.raises(ModelError, match="domain"):
+            explore_module(m)
+
+    def test_probability_expression(self):
+        # Transition probability depending on the state.
+        m = Module("biased")
+        x = m.int_var("x", 0, 2, init=1)
+        stay = ite(x == 1, 0.75, 1.0)
+        m.command(x == 1, [(stay, {}), (1 - stay.evaluate({"x": 1}), {x: 2})])
+        m.command(x != 1, [(1.0, {})])
+        result = explore_module(m)
+        i = result.index[result.states[0]._replace(x=1)]
+        j = result.index[result.states[0]._replace(x=2)]
+        assert result.chain.transition_probability(i, j) == pytest.approx(0.25)
+
+    def test_zero_probability_branch_dropped(self):
+        m = Module("m")
+        x = m.int_var("x", 0, 1, init=0)
+        m.command(True, [(1.0, {}), (0.0, {x: 1})])
+        result = explore_module(m)
+        assert result.num_states == 1
+
+
+class TestIntegrationWithChecker:
+    def test_walk_stationary_uniform_interior(self):
+        result = explore_module(make_walk())
+        pi = stationary_distribution(result.chain)
+        # Reflecting walk on 0..4: stationary mass 1/8,2/8,2/8,2/8,1/8.
+        by_x = {s.x: pi[i] for i, s in enumerate(result.states)}
+        assert by_x[0] == pytest.approx(1 / 8)
+        assert by_x[2] == pytest.approx(2 / 8)
+
+    def test_pctl_over_module_variables(self):
+        result = explore_module(make_walk())
+        # From x=2 the walk hits an end within 2 steps with prob 1/2.
+        value = check(result.chain, "P=? [ F<=2 (x=0 | x=4) ]").value
+        assert value == pytest.approx(0.5)
+
+    def test_labels_and_rewards_from_expressions(self):
+        m = make_walk()
+        x = Var("x")
+        result = explore_module(
+            m, labels={"edge": (x == 0) | (x == 4)}, rewards={"pos": x}
+        )
+        assert check(result.chain, "P=? [ F edge ]").value == pytest.approx(1.0)
+        assert check(result.chain, "R=? [ I=0 ]").value == pytest.approx(2.0)
+
+
+class TestEnumVariables:
+    def test_enum_domain_and_init(self):
+        m = Module("enum")
+        mode = m.enum_var("mode", ["idle", "rx", "tx"], init="idle")
+        m.command(mode == "idle", [(1.0, {mode: "rx"})])
+        m.command(mode == "rx", [(0.5, {mode: "tx"}), (0.5, {mode: "idle"})])
+        m.command(mode == "tx", [(1.0, {mode: "idle"})])
+        result = explore_module(m)
+        assert result.num_states == 3
+        assert {s.mode for s in result.states} == {"idle", "rx", "tx"}
+
+    def test_enum_default_init_is_first(self):
+        m = Module("enum")
+        v = m.enum_var("v", [7, 9])
+        assert m.initial_values() == {"v": 7}
+
+    def test_enum_value_outside_domain(self):
+        m = Module("enum")
+        v = m.enum_var("v", [1, 2])
+        m.command(True, [(1.0, {v: 3})])
+        with pytest.raises(ModelError, match="domain"):
+            explore_module(m)
+
+    def test_duplicate_enum_values_rejected(self):
+        m = Module("enum")
+        with pytest.raises(ModelError, match="duplicate"):
+            m.enum_var("v", [1, 1, 2])
+
+
+class TestIntrospection:
+    def test_variable_names_order(self):
+        m = make_walk()
+        assert m.variable_names == ("x",)
+
+    def test_initial_values(self):
+        m = make_walk(start=3)
+        assert m.initial_values() == {"x": 3}
+
+    def test_command_labels_in_error_message(self):
+        m = Module("m")
+        x = m.int_var("x", 0, 1, init=0)
+        m.command(x >= 0, [(1.0, {})], label="alpha")
+        m.command(x == 0, [(1.0, {})], label="beta")
+        with pytest.raises(ModelError, match="alpha.*beta"):
+            explore_module(m)

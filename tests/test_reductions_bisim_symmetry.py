@@ -1,0 +1,180 @@
+"""Tests for bisimilarity decision, symmetry reduction, and equivalence checking."""
+
+import numpy as np
+import pytest
+
+from repro.core.reductions import (
+    are_bisimilar,
+    assert_equivalent,
+    disjoint_union,
+    functions_equivalent,
+    group_orbit_canonicalizer,
+    orbit_sizes,
+    quotient_by_function,
+    sorted_blocks_canonicalizer,
+    verify_permutation_invariance,
+)
+from repro.dtmc import build_dtmc, dtmc_from_dict
+
+from helpers import knuth_yao_die, two_state_chain
+
+
+def coins_chain(n=2, p=0.5, label="all_heads"):
+    """n i.i.d. coins re-flipped every step."""
+    import itertools
+
+    outcomes = list(itertools.product([0, 1], repeat=n))
+
+    def step(state):
+        return [(p ** sum(o) * (1 - p) ** (n - sum(o)), o) for o in outcomes]
+
+    return build_dtmc(
+        step,
+        initial=tuple([0] * n),
+        labels={label: lambda s: all(s)},
+    ).chain
+
+
+class TestBisimilarity:
+    def test_chain_bisimilar_to_itself(self):
+        chain = knuth_yao_die()
+        result = are_bisimilar(chain, chain)
+        assert result.equivalent
+
+    def test_chain_bisimilar_to_its_quotient(self):
+        chain = coins_chain()
+        quotient = quotient_by_function(chain, lambda s: tuple(sorted(s))).chain
+        result = are_bisimilar(chain, quotient, respect=["all_heads"])
+        assert result.equivalent
+        assert quotient.num_states < chain.num_states
+
+    def test_different_bias_not_bisimilar(self):
+        fair = coins_chain(p=0.5)
+        biased = coins_chain(p=0.6)
+        result = are_bisimilar(fair, biased, respect=["all_heads"])
+        assert not result.equivalent
+        assert "initial mass differs" in result.witness
+
+    def test_two_state_vs_die_not_bisimilar(self):
+        a = two_state_chain()
+        b = two_state_chain(p=0.9, q=0.9)
+        result = are_bisimilar(a, b, respect=["in_b"])
+        assert not result.equivalent
+
+    def test_missing_shared_label_rejected(self):
+        a = two_state_chain()
+        b = knuth_yao_die()
+        with pytest.raises(KeyError, match="shared"):
+            are_bisimilar(a, b, respect=["in_b"])
+
+    def test_disjoint_union_structure(self):
+        a = two_state_chain()
+        b = two_state_chain()
+        union = disjoint_union(a, b)
+        assert union.num_states == 4
+        assert union.initial_distribution.sum() == pytest.approx(1.0)
+        # No cross edges.
+        assert union.transition_probability(0, 2) == 0.0
+
+
+class TestSymmetry:
+    def test_sorted_blocks_canonicalizer(self):
+        canon = sorted_blocks_canonicalizer(
+            extract=lambda s: (s[0], s[1]),
+            rebuild=lambda blocks, rest: (blocks, rest),
+        )
+        assert canon((((3, 1), (1, 2)), "x")) == (((1, 2), (3, 1)), "x")
+
+    def test_group_orbit_canonicalizer_rotation(self):
+        # Cyclic rotation of a 3-tuple.
+        rotate = lambda s: (s[1], s[2], s[0])  # noqa: E731
+        canon = group_orbit_canonicalizer([rotate])
+        assert canon((2, 0, 1)) == (0, 1, 2)
+        assert canon((0, 1, 2)) == canon((1, 2, 0)) == canon((2, 0, 1))
+
+    def test_orbit_sizes_histogram(self):
+        states = [(0, 1), (1, 0), (0, 0), (1, 1)]
+        sizes = orbit_sizes(states, lambda s: tuple(sorted(s)))
+        assert sizes == {(0, 1): 2, (0, 0): 1, (1, 1): 1}
+
+    def test_verify_permutation_invariance_holds_for_swap(self):
+        chain = coins_chain()
+        swap = lambda s: (s[1], s[0])  # noqa: E731
+        assert verify_permutation_invariance(chain, swap)
+
+    def test_verify_permutation_invariance_catches_asymmetry(self):
+        # Coin 0 biased, coin 1 fair: swapping is NOT an automorphism.
+        import itertools
+
+        outcomes = list(itertools.product([0, 1], repeat=2))
+
+        def step(state):
+            return [
+                (
+                    (0.8 if o[0] else 0.2) * 0.5,
+                    o,
+                )
+                for o in outcomes
+            ]
+
+        chain = build_dtmc(step, initial=(0, 0)).chain
+        swap = lambda s: (s[1], s[0])  # noqa: E731
+        with pytest.raises(AssertionError, match="not invariant"):
+            verify_permutation_invariance(chain, swap)
+
+    def test_on_the_fly_reduction_matches_post_hoc_quotient(self):
+        """Building with canonicalize == quotienting the full chain."""
+        import itertools
+
+        outcomes = list(itertools.product([0, 1], repeat=3))
+
+        def step(state):
+            return [(1 / 8, o) for o in outcomes]
+
+        full = build_dtmc(
+            step, initial=(0, 0, 0), labels={"all": lambda s: all(s)}
+        )
+        reduced = build_dtmc(
+            step,
+            initial=(0, 0, 0),
+            canonicalize=lambda s: tuple(sorted(s)),
+            labels={"all": lambda s: all(s)},
+        )
+        quotient = quotient_by_function(full.chain, lambda s: tuple(sorted(s)))
+        assert reduced.num_states == quotient.num_blocks == 4
+        bisim = are_bisimilar(reduced.chain, quotient.chain, respect=["all"])
+        assert bisim.equivalent
+
+
+class TestEquivalenceChecker:
+    def test_equivalent_boolean_functions(self):
+        xor = lambda a, b: a != b  # noqa: E731
+        alt = lambda a, b: (a and not b) or (b and not a)  # noqa: E731
+        result = functions_equivalent(
+            xor, alt, {"a": [False, True], "b": [False, True]}
+        )
+        assert result.equivalent
+        assert result.cases_checked == 4
+
+    def test_counterexample_reported(self):
+        f = lambda a, b: a and b  # noqa: E731
+        g = lambda a, b: a or b  # noqa: E731
+        result = functions_equivalent(
+            f, g, {"a": [False, True], "b": [False, True]}
+        )
+        assert not result.equivalent
+        assert result.counterexample in (
+            {"a": True, "b": False},
+            {"a": False, "b": True},
+        )
+
+    def test_assert_equivalent_raises_with_witness(self):
+        f = lambda a: a  # noqa: E731
+        g = lambda a: not a  # noqa: E731
+        with pytest.raises(AssertionError, match="differ"):
+            assert_equivalent(f, g, {"a": [False, True]})
+
+    def test_multivalued_domains(self):
+        f = lambda x, y: min(x, y)  # noqa: E731
+        g = lambda x, y: x if x < y else y  # noqa: E731
+        assert assert_equivalent(f, g, {"x": range(5), "y": range(5)}) == 25

@@ -1,0 +1,216 @@
+"""Tests for the Monte-Carlo baseline (repro.sim) and SMC (repro.smc)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mimo import MimoSystemConfig, build_detector_model
+from repro.pctl import check
+from repro.sim import (
+    BerEstimate,
+    clopper_pearson_interval,
+    required_trials,
+    rule_of_three_upper_bound,
+    simulate_detector_ber,
+    simulate_detector_ber_true_channel,
+    simulate_viterbi_ber,
+    simulate_viterbi_convergence,
+    wilson_interval,
+)
+from repro.smc import (
+    approximate_probability,
+    hoeffding_sample_size,
+    sprt_decide,
+)
+from repro.viterbi import ViterbiModelConfig, build_convergence_model, build_reduced_model
+from repro.comm import bpsk_diversity_ber
+
+
+class TestIntervals:
+    def test_wilson_contains_point(self):
+        low, high = wilson_interval(10, 100)
+        assert low < 0.1 < high
+
+    def test_wilson_zero_errors(self):
+        low, high = wilson_interval(0, 1000)
+        assert low == pytest.approx(0.0, abs=1e-12)
+        assert 0 < high < 0.01
+
+    def test_clopper_pearson_contains_point(self):
+        cp = clopper_pearson_interval(5, 1000)
+        assert cp[0] < 5 / 1000 < cp[1]
+
+    def test_clopper_pearson_zero_errors(self):
+        low, high = clopper_pearson_interval(0, 1000)
+        assert low == 0.0
+        assert 0 < high < 0.01
+
+    def test_rule_of_three(self):
+        assert rule_of_three_upper_bound(100_000) == pytest.approx(
+            3.0 / 100_000, rel=0.01
+        )
+
+    def test_required_trials_low_ber(self):
+        # ~1e-7 BER at 10% accuracy needs billions of trials.
+        assert required_trials(1e-7, 0.1) > 1e9
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+        with pytest.raises(ValueError):
+            required_trials(0.0)
+
+    @given(
+        st.integers(min_value=0, max_value=50),
+        st.integers(min_value=50, max_value=10_000),
+    )
+    @settings(max_examples=50)
+    def test_wilson_is_valid_interval(self, errors, trials):
+        low, high = wilson_interval(errors, trials)
+        assert 0.0 <= low <= high <= 1.0
+        assert low <= errors / trials + 1e-12
+        assert high >= errors / trials - 1e-12
+
+
+class TestBerEstimate:
+    def test_point_and_interval(self):
+        est = BerEstimate(errors=25, trials=1000)
+        assert est.point == 0.025
+        assert est.contains(0.025)
+
+    def test_str_is_informative(self):
+        text = str(BerEstimate(errors=1, trials=10_000))
+        assert "1/10000" in text
+        assert "CI" in text
+
+    def test_standard_error(self):
+        est = BerEstimate(errors=100, trials=10_000)
+        assert est.standard_error == pytest.approx(
+            math.sqrt(0.01 * 0.99 / 10_000)
+        )
+
+
+class TestSimulators:
+    def test_viterbi_simulation_matches_model(self):
+        cfg = ViterbiModelConfig()
+        model = check(build_reduced_model(cfg).chain, "S=? [ flag ]").value
+        estimate = simulate_viterbi_ber(cfg, num_steps=60_000, seed=1)
+        low, high = estimate.interval
+        assert low * 0.7 <= model <= high * 1.3
+
+    def test_viterbi_convergence_simulation_matches_model(self):
+        cfg = ViterbiModelConfig()
+        model = check(build_convergence_model(cfg).chain, "S=? [ nonconv ]").value
+        estimate = simulate_viterbi_convergence(cfg, num_steps=60_000, seed=2)
+        low, high = estimate.interval
+        assert low * 0.7 <= model <= high * 1.3
+
+    def test_detector_simulation_matches_model(self):
+        cfg = MimoSystemConfig(num_rx=2, snr_db=8.0)
+        model = check(build_detector_model(cfg).chain, "S=? [ flag ]").value
+        estimate = simulate_detector_ber(cfg, num_steps=300_000, seed=3)
+        assert estimate.contains(model) or abs(estimate.point - model) < 0.3 * model
+
+    def test_true_channel_detector_near_theory(self):
+        cfg = MimoSystemConfig(num_rx=2, snr_db=6.0)
+        estimate = simulate_detector_ber_true_channel(cfg, num_steps=150_000, seed=4)
+        theory = bpsk_diversity_ber(6.0, 2)
+        assert 0.3 * theory < estimate.point < 3.0 * theory
+
+    def test_zero_errors_at_high_diversity(self):
+        """The paper's point: 1e5 steps of simulation see no errors
+        where model checking still resolves the BER."""
+        cfg = MimoSystemConfig(num_rx=4, snr_db=12.0)
+        estimate = simulate_detector_ber(cfg, num_steps=100_000, seed=5)
+        assert estimate.errors == 0
+        model = check(build_detector_model(cfg).chain, "S=? [ flag ]").value
+        assert 0 < model < rule_of_three_upper_bound(100_000)
+
+    def test_seed_reproducibility(self):
+        a = simulate_detector_ber(num_steps=5_000, seed=9)
+        b = simulate_detector_ber(num_steps=5_000, seed=9)
+        assert a.errors == b.errors
+
+
+class TestHoeffding:
+    def test_sample_size_formula(self):
+        assert hoeffding_sample_size(0.01, 0.01) == math.ceil(
+            math.log(200.0) / 0.0002
+        )
+
+    def test_sample_size_validation(self):
+        with pytest.raises(ValueError):
+            hoeffding_sample_size(0.0, 0.1)
+        with pytest.raises(ValueError):
+            hoeffding_sample_size(0.1, 1.5)
+
+    def test_estimates_fair_coin(self):
+        result = approximate_probability(
+            lambda rng: rng.random() < 0.5, epsilon=0.02, delta=0.05, seed=6
+        )
+        assert abs(result.estimate - 0.5) < 0.02
+        low, high = result.interval
+        assert low <= 0.5 <= high
+
+    def test_result_str(self):
+        result = approximate_probability(
+            lambda rng: True, epsilon=0.1, delta=0.1, seed=0
+        )
+        assert "samples" in str(result)
+        assert result.estimate == 1.0
+
+
+class TestSprt:
+    def test_accepts_true_hypothesis(self):
+        result = sprt_decide(
+            lambda rng: rng.random() < 0.7, theta=0.5, half_width=0.05, seed=7
+        )
+        assert result.accept
+        assert result.samples < 1000
+
+    def test_rejects_false_hypothesis(self):
+        result = sprt_decide(
+            lambda rng: rng.random() < 0.3, theta=0.5, half_width=0.05, seed=8
+        )
+        assert not result.accept
+
+    def test_fewer_samples_for_clear_cases(self):
+        clear = sprt_decide(
+            lambda rng: rng.random() < 0.95, theta=0.5, half_width=0.05, seed=9
+        )
+        close = sprt_decide(
+            lambda rng: rng.random() < 0.60, theta=0.5, half_width=0.05, seed=9
+        )
+        assert clear.samples < close.samples
+
+    def test_invalid_indifference_region(self):
+        with pytest.raises(ValueError):
+            sprt_decide(lambda rng: True, theta=0.005, half_width=0.01)
+
+    def test_smc_agrees_with_model_checker(self):
+        """Qualitative SMC on the detector: BER < 0.01 at 8 dB."""
+        cfg = MimoSystemConfig(num_rx=2, snr_db=8.0)
+        model = check(build_detector_model(cfg).chain, "S=? [ flag ]").value
+        assert model < 0.01
+
+        import numpy as np
+
+        h_quantizer = cfg.make_h_quantizer()
+        y_quantizer = cfg.make_y_quantizer()
+
+        def one_cycle_error(rng: np.random.Generator) -> bool:
+            bit = int(rng.integers(0, 2))
+            s = 2.0 * bit - 1.0
+            h = h_quantizer.quantize(rng.normal(0.0, math.sqrt(0.5), cfg.num_blocks))
+            y = y_quantizer.quantize(h * s + rng.normal(0.0, cfg.sigma, cfg.num_blocks))
+            detected = 0 if np.abs(y + h).sum() <= np.abs(y - h).sum() else 1
+            return detected != bit
+
+        # Test "P(error) >= 0.01" - should be rejected.
+        result = sprt_decide(one_cycle_error, theta=0.01, half_width=0.005, seed=10)
+        assert not result.accept

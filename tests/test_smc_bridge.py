@@ -1,0 +1,140 @@
+"""Tests for DTMC path sampling and the statistical-checking bridge."""
+
+import numpy as np
+import pytest
+
+from repro.dtmc import PathSampler, sample_path
+from repro.pctl import PctlSemanticsError, check
+from repro.smc import make_path_trial, path_satisfies, smc_decide, smc_estimate
+
+from helpers import gamblers_ruin, knuth_yao_die, two_state_chain
+
+
+class TestPathSampler:
+    def test_path_shape_and_start(self):
+        chain = two_state_chain()
+        path = sample_path(chain, 10, rng=np.random.default_rng(0))
+        assert path.shape == (11,)
+        assert path[0] == 0  # single initial state
+
+    def test_paths_matrix(self):
+        sampler = PathSampler(two_state_chain(), np.random.default_rng(1))
+        paths = sampler.paths(20, 5)
+        assert paths.shape == (20, 6)
+
+    def test_transitions_respect_support(self):
+        chain = knuth_yao_die()
+        sampler = PathSampler(chain, np.random.default_rng(2))
+        path = sampler.path(50)
+        for a, b in zip(path, path[1:]):
+            assert chain.transition_probability(int(a), int(b)) > 0
+
+    def test_empirical_frequencies_match(self):
+        chain = two_state_chain(p=0.3, q=0.6)
+        sampler = PathSampler(chain, np.random.default_rng(3))
+        # Long path: occupancy ~ stationary distribution (2/3, 1/3).
+        path = sampler.path(30_000)
+        occupancy = np.mean(path == 1)
+        assert occupancy == pytest.approx(1 / 3, abs=0.02)
+
+    def test_explicit_start_state(self):
+        chain = gamblers_ruin(4)
+        (ruin,) = chain.states_satisfying("ruin")
+        path = sample_path(chain, 3, rng=np.random.default_rng(4), start=ruin)
+        assert (path == ruin).all()  # ruin is absorbing
+
+    def test_initial_distribution_sampling(self):
+        import numpy as np
+
+        from repro.dtmc import DTMC
+
+        chain = DTMC(np.eye(2), np.array([0.25, 0.75]))
+        sampler = PathSampler(chain, np.random.default_rng(5))
+        starts = [sampler.sample_initial() for _ in range(4000)]
+        assert np.mean(starts) == pytest.approx(0.75, abs=0.03)
+
+
+class TestPathSatisfies:
+    def test_globally(self):
+        left = np.array([True, True, False])
+        assert path_satisfies("globally", 2, left, None, np.array([0, 1, 0]))
+        assert not path_satisfies("globally", 2, left, None, np.array([0, 2, 0]))
+
+    def test_until_requires_right_within_bound(self):
+        left = np.array([True, False, False])
+        right = np.array([False, True, False])
+        assert path_satisfies("until", 2, left, right, np.array([0, 0, 1]))
+        assert not path_satisfies("until", 2, left, right, np.array([0, 0, 0]))
+        # Entering state 2 (neither left nor right) before right fails.
+        assert not path_satisfies("until", 2, left, right, np.array([0, 2, 1]))
+
+    def test_weak_until_survives_without_right(self):
+        left = np.array([True, False])
+        right = np.array([False, False])
+        assert path_satisfies("weak", 2, left, right, np.array([0, 0, 0]))
+        assert not path_satisfies("weak", 2, left, right, np.array([0, 1, 0]))
+
+    def test_next(self):
+        right = np.array([False, True])
+        assert path_satisfies("next", 1, None, right, np.array([0, 1]))
+        assert not path_satisfies("next", 1, None, right, np.array([0, 0]))
+
+    def test_left_violation_after_right_is_fine(self):
+        left = np.array([True, False])
+        right = np.array([False, True])
+        # Path hits right at t=1; later left-violations are irrelevant.
+        assert path_satisfies("until", 3, left, right, np.array([0, 1, 1, 1]))
+
+
+class TestSmcAgainstExactChecker:
+    @pytest.mark.parametrize(
+        "prop",
+        [
+            "P=? [ F<=3 done ]",
+            "P=? [ G<=4 !done ]",
+            "P=? [ !six U<=6 done ]",
+            "P=? [ X !done ]",
+        ],
+    )
+    def test_estimate_within_hoeffding_band(self, prop):
+        chain = knuth_yao_die()
+        exact = check(chain, prop).value
+        result = smc_estimate(chain, prop, epsilon=0.03, delta=0.01, seed=42)
+        assert abs(result.estimate - exact) <= 0.03
+
+    def test_decide_true_threshold(self):
+        chain = knuth_yao_die()
+        # P(F<=3 done) = 0.75: clearly above 0.6.
+        verdict = smc_decide(
+            chain, "P=? [ F<=3 done ]", theta=0.6, half_width=0.03, seed=7
+        )
+        assert verdict.accept
+
+    def test_decide_false_threshold(self):
+        chain = knuth_yao_die()
+        verdict = smc_decide(
+            chain, "P=? [ F<=3 done ]", theta=0.9, half_width=0.03, seed=8
+        )
+        assert not verdict.accept
+
+    def test_unbounded_rejected(self):
+        chain = knuth_yao_die()
+        with pytest.raises(PctlSemanticsError, match="unbounded"):
+            smc_estimate(chain, "P=? [ F done ]")
+
+    def test_non_probability_query_rejected(self):
+        chain = knuth_yao_die()
+        with pytest.raises(PctlSemanticsError, match="P operator"):
+            smc_estimate(chain, "S=? [ done ]")
+
+    def test_trial_is_deterministic_given_rng(self):
+        chain = knuth_yao_die()
+        trial = make_path_trial(chain, "P=? [ F<=3 done ]")
+        a = [trial(np.random.default_rng(5)) for _ in range(3)]
+        b = [trial(np.random.default_rng(5)) for _ in range(3)]
+        assert a == b
+
+    def test_interval_lower_bound_rejected(self):
+        chain = knuth_yao_die()
+        with pytest.raises(PctlSemanticsError, match="interval"):
+            smc_estimate(chain, "P=? [ F[2,5] done ]")

@@ -1,0 +1,254 @@
+"""Tests for the BDD/MTBDD engine and the symbolic DTMC analysis."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dtmc import distribution_at, instantaneous_reward, bounded_reachability
+from repro.symbolic import BDD, MTBDD, StateEncoding, SymbolicEngine
+from repro.viterbi import ViterbiModelConfig, build_reduced_model
+
+from helpers import knuth_yao_die, random_dtmcs, two_state_chain
+
+
+class TestBDD:
+    def test_terminals(self):
+        bdd = BDD(2)
+        assert bdd.FALSE == 0
+        assert bdd.TRUE == 1
+
+    def test_hash_consing(self):
+        bdd = BDD(3)
+        f = bdd.apply_and(bdd.var(0), bdd.var(1))
+        g = bdd.apply_and(bdd.var(0), bdd.var(1))
+        assert f == g  # pointer equality == semantic equality
+
+    def test_negation_involution(self):
+        bdd = BDD(3)
+        f = bdd.apply_or(bdd.var(0), bdd.apply_and(bdd.var(1), bdd.var(2)))
+        assert bdd.apply_not(bdd.apply_not(f)) == f
+
+    def test_de_morgan(self):
+        bdd = BDD(2)
+        a, b = bdd.var(0), bdd.var(1)
+        left = bdd.apply_not(bdd.apply_and(a, b))
+        right = bdd.apply_or(bdd.apply_not(a), bdd.apply_not(b))
+        assert left == right
+
+    def test_evaluation_truth_table(self):
+        bdd = BDD(2)
+        f = bdd.apply_xor(bdd.var(0), bdd.var(1))
+        for a, b in itertools.product([False, True], repeat=2):
+            assert bdd.evaluate(f, {0: a, 1: b}) == (a != b)
+
+    def test_cube(self):
+        bdd = BDD(3)
+        f = bdd.cube({0: True, 2: False})
+        assert bdd.evaluate(f, {0: True, 1: False, 2: False})
+        assert not bdd.evaluate(f, {0: True, 1: False, 2: True})
+
+    def test_sat_count(self):
+        bdd = BDD(3)
+        assert bdd.sat_count(bdd.TRUE) == 8
+        assert bdd.sat_count(bdd.FALSE) == 0
+        assert bdd.sat_count(bdd.var(0)) == 4
+        f = bdd.apply_or(bdd.var(0), bdd.var(1))
+        assert bdd.sat_count(f) == 6
+
+    def test_satisfying_assignments(self):
+        bdd = BDD(2)
+        f = bdd.apply_and(bdd.var(0), bdd.apply_not(bdd.var(1)))
+        solutions = list(bdd.satisfying_assignments(f))
+        assert solutions == [{0: True, 1: False}]
+
+    def test_exists(self):
+        bdd = BDD(2)
+        f = bdd.apply_and(bdd.var(0), bdd.var(1))
+        assert bdd.exists(f, [1]) == bdd.var(0)
+        assert bdd.exists(f, [0, 1]) == bdd.TRUE
+
+    def test_forall(self):
+        bdd = BDD(2)
+        f = bdd.apply_or(bdd.var(0), bdd.var(1))
+        assert bdd.forall(f, [1]) == bdd.var(0)
+
+    def test_restrict(self):
+        bdd = BDD(2)
+        f = bdd.apply_xor(bdd.var(0), bdd.var(1))
+        assert bdd.restrict(f, 0, False) == bdd.var(1)
+        assert bdd.restrict(f, 0, True) == bdd.apply_not(bdd.var(1))
+
+    def test_support(self):
+        bdd = BDD(4)
+        f = bdd.apply_and(bdd.var(0), bdd.var(3))
+        assert bdd.support(f) == [0, 3]
+
+    def test_implies(self):
+        bdd = BDD(2)
+        a, b = bdd.var(0), bdd.var(1)
+        f = bdd.apply_implies(a, b)
+        assert bdd.evaluate(f, {0: False, 1: False})
+        assert not bdd.evaluate(f, {0: True, 1: False})
+
+    @given(st.integers(min_value=0, max_value=255))
+    @settings(max_examples=40)
+    def test_random_function_roundtrip(self, truth_table):
+        """Any 3-variable function built from minterms evaluates correctly."""
+        bdd = BDD(3)
+        f = bdd.FALSE
+        for m in range(8):
+            if (truth_table >> m) & 1:
+                bits = {i: bool((m >> i) & 1) for i in range(3)}
+                f = bdd.apply_or(f, bdd.cube(bits))
+        for m in range(8):
+            bits = {i: bool((m >> i) & 1) for i in range(3)}
+            assert bdd.evaluate(f, bits) == bool((truth_table >> m) & 1)
+        assert bdd.sat_count(f) == bin(truth_table).count("1")
+
+
+class TestMTBDD:
+    def test_constant_sharing(self):
+        manager = MTBDD(2)
+        assert manager.constant(0.5) == manager.constant(0.5)
+
+    def test_pointwise_arithmetic(self):
+        manager = MTBDD(2)
+        f = manager.var(0, high_value=2.0, low_value=1.0)
+        g = manager.var(1, high_value=10.0, low_value=0.0)
+        h = manager.plus(f, g)
+        assert manager.evaluate(h, {0: True, 1: True}) == 12.0
+        assert manager.evaluate(h, {0: False, 1: False}) == 1.0
+        p = manager.times(f, g)
+        assert manager.evaluate(p, {0: True, 1: True}) == 20.0
+
+    def test_min_max(self):
+        manager = MTBDD(1)
+        f = manager.var(0, 5.0, 1.0)
+        g = manager.constant(3.0)
+        assert manager.evaluate(manager.minimum(f, g), {0: True}) == 3.0
+        assert manager.evaluate(manager.maximum(f, g), {0: False}) == 3.0
+
+    def test_cube_value(self):
+        manager = MTBDD(3)
+        f = manager.cube({0: True, 1: False}, value=0.25)
+        assert manager.evaluate(f, {0: True, 1: False, 2: True}) == 0.25
+        assert manager.evaluate(f, {0: True, 1: True, 2: True}) == 0.0
+
+    def test_sum_abstract(self):
+        manager = MTBDD(2)
+        # f = indicator(v0) * 3 + indicator(!v0) * 1, over v0 only
+        f = manager.var(0, 3.0, 1.0)
+        total = manager.sum_abstract(f, [0])
+        assert manager.terminal_value(total) == 4.0
+
+    def test_sum_abstract_free_variable_doubles(self):
+        manager = MTBDD(2)
+        f = manager.constant(2.5)
+        total = manager.sum_abstract(f, [0, 1])
+        assert manager.terminal_value(total) == 10.0
+
+    def test_threshold(self):
+        manager = MTBDD(1)
+        f = manager.var(0, 0.8, 0.2)
+        t = manager.threshold(f, 0.5)
+        assert manager.evaluate(t, {0: True}) == 1.0
+        assert manager.evaluate(t, {0: False}) == 0.0
+
+    def test_ite(self):
+        manager = MTBDD(1)
+        cond = manager.var(0)  # 0/1 indicator
+        result = manager.ite(cond, manager.constant(7.0), manager.constant(9.0))
+        assert manager.evaluate(result, {0: True}) == 7.0
+        assert manager.evaluate(result, {0: False}) == 9.0
+
+    def test_rename(self):
+        manager = MTBDD(4)
+        f = manager.var(0, 5.0, 2.0)
+        g = manager.rename(f, {0: 1})
+        assert manager.evaluate(g, {1: True}) == 5.0
+        assert manager.evaluate(g, {0: True, 1: False}) == 2.0
+
+    def test_terminals_listing(self):
+        manager = MTBDD(1)
+        f = manager.var(0, 0.25, 0.75)
+        assert manager.terminals(f) == [0.25, 0.75]
+
+
+class TestStateEncoding:
+    def test_bit_budget(self):
+        assert StateEncoding(1).num_bits == 1
+        assert StateEncoding(2).num_bits == 1
+        assert StateEncoding(3).num_bits == 2
+        assert StateEncoding(1000).num_bits == 10
+
+    def test_interleaved_levels(self):
+        enc = StateEncoding(4)
+        assert enc.row_levels == [0, 2]
+        assert enc.col_levels == [1, 3]
+
+    def test_assignments_roundtrip(self):
+        enc = StateEncoding(8)
+        a = enc.row_assignment(5)
+        assert a == {0: True, 2: False, 4: True}
+
+
+class TestSymbolicEngine:
+    def test_distribution_matches_sparse(self):
+        chain = knuth_yao_die()
+        engine = SymbolicEngine(chain)
+        for t in (0, 1, 3, 7):
+            symbolic = engine.distribution_at(t)
+            sparse = distribution_at(chain, t)
+            assert np.allclose(symbolic, sparse, atol=1e-12)
+
+    def test_instantaneous_reward_matches_sparse(self):
+        chain = two_state_chain(p=0.4, q=0.2)
+        engine = SymbolicEngine(chain)
+        for t in (0, 1, 5, 20):
+            assert engine.instantaneous_reward("hit", t) == pytest.approx(
+                instantaneous_reward(chain, "hit", t)
+            )
+
+    def test_bounded_reachability_matches_sparse(self):
+        chain = knuth_yao_die()
+        engine = SymbolicEngine(chain)
+        for t in (0, 1, 3, 6):
+            symbolic = engine.bounded_reachability("done", t)
+            sparse = float(
+                bounded_reachability(chain, chain.label_vector("done"), t)
+                @ chain.initial_distribution
+            )
+            assert symbolic == pytest.approx(sparse)
+
+    def test_viterbi_p2_on_symbolic_engine(self):
+        """The paper's P2 on the reduced Viterbi model, symbolically."""
+        config = ViterbiModelConfig(traceback_length=3, num_levels=3, pm_max=3)
+        result = build_reduced_model(config)
+        engine = SymbolicEngine(result.chain)
+        symbolic = engine.instantaneous_reward("flag", 30)
+        sparse = instantaneous_reward(result.chain, "flag", 30)
+        assert symbolic == pytest.approx(sparse, abs=1e-12)
+
+    def test_mtbdd_shares_structure(self):
+        """Node count well below nnz on a highly regular chain."""
+        # A uniform random walk on 64 states has 128 transitions but a
+        # compact symbolic form.
+        from repro.dtmc import build_dtmc
+
+        def step(i):
+            return [(0.5, (i + 1) % 64), (0.5, (i - 1) % 64)]
+
+        chain = build_dtmc(step, initial=0).chain
+        engine = SymbolicEngine(chain)
+        assert engine.matrix_nodes < chain.num_transitions
+
+    @given(random_dtmcs(max_states=5), st.integers(min_value=0, max_value=6))
+    @settings(max_examples=15, deadline=None)
+    def test_random_chain_agreement(self, chain, t):
+        engine = SymbolicEngine(chain)
+        assert np.allclose(
+            engine.distribution_at(t), distribution_at(chain, t), atol=1e-9
+        )

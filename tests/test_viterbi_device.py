@@ -1,0 +1,200 @@
+"""Tests for the bit-true Viterbi device (trellis + decoders)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm import PartialResponseTransmitter, UniformQuantizer, noise_sigma
+from repro.viterbi import (
+    ACSResult,
+    BlockMLSequenceDetector,
+    RTLViterbiDecoder,
+    Trellis,
+)
+
+
+def make_trellis(num_levels=5, pm_max=6):
+    return Trellis(
+        PartialResponseTransmitter((1.0, 1.0)),
+        UniformQuantizer(num_levels, -3.0, 3.0),
+        pm_max=pm_max,
+    )
+
+
+class TestTrellisGeometry:
+    def test_two_states_for_memory_one(self):
+        trellis = make_trellis()
+        assert trellis.num_states == 2
+        assert trellis.memory == 1
+
+    def test_next_state_is_input_bit(self):
+        trellis = make_trellis()
+        for s in (0, 1):
+            for b in (0, 1):
+                assert trellis.next_state(s, b) == b
+
+    def test_predecessors_complete(self):
+        trellis = make_trellis()
+        assert trellis.predecessors(0) == [0, 1]
+        assert trellis.predecessors(1) == [0, 1]
+
+    def test_expected_outputs_duobinary(self):
+        trellis = make_trellis()
+        assert trellis.expected_output(0, 0) == -2.0
+        assert trellis.expected_output(1, 1) == 2.0
+        assert trellis.expected_output(0, 1) == 0.0
+        assert trellis.expected_output(1, 0) == 0.0
+
+    def test_memory_two_trellis(self):
+        trellis = Trellis(
+            PartialResponseTransmitter((1.0, 0.5, 0.5)),
+            UniformQuantizer(5, -3, 3),
+        )
+        assert trellis.num_states == 4
+        # Each state has exactly two predecessors.
+        for s in range(4):
+            assert len(trellis.predecessors(s)) == 2
+
+    def test_branch_metric_is_index_distance(self):
+        trellis = make_trellis(num_levels=5)
+        # Levels of the 5-level [-3,3] quantizer: -2.4,-1.2,0,1.2,2.4;
+        # expected output -2 quantizes to index 0, +2 to index 4.
+        assert trellis.branch_metric(0, 0, 0) == 0
+        assert trellis.branch_metric(4, 0, 0) == 4
+        assert trellis.branch_metric(2, 1, 0) == 0  # 0-output branch
+
+
+class TestACS:
+    def test_normalization_keeps_min_zero(self):
+        trellis = make_trellis()
+        result = trellis.acs((0, 0), q_index=0)
+        assert min(result.path_metrics) == 0
+
+    def test_saturation(self):
+        trellis = make_trellis(pm_max=2)
+        metrics = trellis.initial_metrics()
+        for _ in range(20):
+            metrics = trellis.acs(metrics, q_index=0).path_metrics
+        assert max(metrics) <= 2
+
+    def test_survivor_points_to_argmin(self):
+        trellis = make_trellis()
+        # With q at the lowest level (-2 region), state 0's best
+        # predecessor is 0 (branch 0->0 expects -2, metric 0).
+        result = trellis.acs((0, 0), q_index=0)
+        assert result.survivors[0] == 0
+
+    def test_tie_breaks_to_lowest_index(self):
+        trellis = make_trellis()
+        # q at the middle level: branches 0->1 (expects 0 via bit 1 from
+        # state 0) and 1->1 (expects +2) differ, but from equal path
+        # metrics ties can occur for target 0; force one by symmetry.
+        result = trellis.acs((3, 3), q_index=2)
+        # Both predecessors add the same constant to equal metrics for
+        # target state... verify determinism instead of a specific tie:
+        again = trellis.acs((3, 3), q_index=2)
+        assert result == again
+
+    def test_best_state_tie_prefers_zero(self):
+        result = ACSResult(path_metrics=(1, 1), survivors=(0, 0))
+        assert result.best_state == 0
+
+    def test_convergent_stage_detection(self):
+        assert ACSResult((0, 1), (1, 1)).is_convergent()
+        assert not ACSResult((0, 1), (0, 1)).is_convergent()
+
+    def test_rejects_bad_pm_max(self):
+        with pytest.raises(ValueError):
+            make_trellis(pm_max=0)
+
+
+class TestRTLDecoder:
+    def setup_method(self):
+        self.tx = PartialResponseTransmitter((1.0, 1.0))
+        self.quantizer = UniformQuantizer(9, -3.0, 3.0)
+        self.trellis = Trellis(self.tx, self.quantizer, pm_max=8)
+
+    def drive(self, bits, sigma=0.0, seed=0, traceback=6):
+        rng = np.random.default_rng(seed)
+        decoder = RTLViterbiDecoder(self.trellis, traceback_length=traceback)
+        clean = self.tx.transmit_sequence(bits, initial=0)
+        noisy = clean + rng.normal(0.0, sigma, clean.shape) if sigma else clean
+        q = self.quantizer.quantize_index(noisy)
+        return decoder.decode_sequence(q)
+
+    def test_noiseless_recovery(self):
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, 200)
+        decoded = self.drive(bits)
+        latency = 5  # L-1
+        assert np.array_equal(decoded, bits[: bits.size - latency])
+
+    def test_latency(self):
+        bits = [1] * 10
+        decoded = self.drive(bits, traceback=4)
+        assert decoded.size == 10 - 3
+
+    def test_reset_restores_cold_state(self):
+        decoder = RTLViterbiDecoder(self.trellis, traceback_length=4)
+        q = self.quantizer.quantize_index(self.tx.transmit_sequence([1, 0, 1, 1, 0]))
+        first = [decoder.step(int(i)) for i in q]
+        decoder.reset()
+        second = [decoder.step(int(i)) for i in q]
+        assert first == second
+
+    def test_low_noise_mostly_correct(self):
+        rng = np.random.default_rng(2)
+        bits = rng.integers(0, 2, 2000)
+        sigma = noise_sigma(14.0)
+        decoded = self.drive(bits, sigma=sigma, seed=3, traceback=8)
+        reference = bits[: decoded.size]
+        assert np.mean(decoded != reference) < 0.01
+
+    def test_agrees_with_block_mlse_when_truncation_is_deep(self):
+        rng = np.random.default_rng(4)
+        bits = rng.integers(0, 2, 60)
+        sigma = noise_sigma(6.0)
+        clean = self.tx.transmit_sequence(bits, initial=0)
+        noisy = clean + rng.normal(0.0, sigma, clean.shape)
+        q = self.quantizer.quantize_index(noisy)
+
+        block = BlockMLSequenceDetector(self.trellis).decode(q)
+        rtl = RTLViterbiDecoder(self.trellis, traceback_length=40).decode_sequence(q)
+        # Compare on the overlap; deep truncation ~= full traceback.
+        overlap = rtl.size
+        agreement = np.mean(block[:overlap] == rtl)
+        assert agreement > 0.95
+
+    def test_rejects_short_traceback(self):
+        with pytest.raises(ValueError):
+            RTLViterbiDecoder(self.trellis, traceback_length=1)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=20, max_size=60))
+    @settings(max_examples=25, deadline=None)
+    def test_noiseless_recovery_property(self, bits):
+        # A [0, 0] preamble pins the (otherwise ML-ambiguous) initial
+        # channel state: the all-zero-metric cold start makes an
+        # alternating sequence and its complement exactly tied.
+        padded = [0, 0] + bits
+        decoded = self.drive(padded, traceback=4)
+        reference = np.asarray(padded[: len(padded) - 3])
+        assert np.array_equal(decoded, reference)
+
+
+class TestBlockMLSE:
+    def test_noiseless_exact(self):
+        tx = PartialResponseTransmitter((1.0, 1.0))
+        quantizer = UniformQuantizer(9, -3, 3)
+        trellis = Trellis(tx, quantizer, pm_max=8)
+        rng = np.random.default_rng(5)
+        bits = rng.integers(0, 2, 100)
+        q = quantizer.quantize_index(tx.transmit_sequence(bits, initial=0))
+        decoded = BlockMLSequenceDetector(trellis).decode(q)
+        assert np.array_equal(decoded, bits)
+
+    def test_output_length(self):
+        tx = PartialResponseTransmitter((1.0, 1.0))
+        trellis = Trellis(tx, UniformQuantizer(5, -3, 3))
+        decoded = BlockMLSequenceDetector(trellis).decode([0, 2, 4])
+        assert decoded.size == 3
