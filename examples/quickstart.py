@@ -1,16 +1,25 @@
 """Quickstart: statistical guarantees in a dozen lines.
 
-Two parts:
+Three parts:
 
 1. the general-purpose layer — define any DTMC, check any pCTL
    property;
 2. the paper's headline flow — one object that builds the (reduced)
-   Viterbi RTL model and returns guaranteed performance figures.
+   Viterbi RTL model and returns guaranteed performance figures;
+3. the engine layer — pick a solver backend, batch properties over
+   shared factorizations, and sweep scenario grids across workers.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import PerformanceAnalyzer, check, dtmc_from_dict
+from repro import (
+    PerformanceAnalyzer,
+    SolverConfig,
+    check,
+    dtmc_from_dict,
+    grid,
+    sweep_values,
+)
 
 
 def part1_any_dtmc() -> None:
@@ -55,6 +64,37 @@ def part2_paper_flow() -> None:
     )
 
 
+def part3_engine_layer() -> None:
+    """Solver backends, batched checking, and scenario sweeps."""
+    print("-- part 3: solver engine and scenario sweeps " + "-" * 18)
+
+    # Any backend, same answer: direct, lu, power, jacobi, gauss-seidel.
+    analyzer = PerformanceAnalyzer.for_viterbi(
+        solver=SolverConfig(method="lu")
+    )
+    # One batch = one set of factorizations / precomputations.
+    for guarantee in analyzer.check_many(
+        ["P=? [ F flag ]", "R=? [ F flag ]", "S=? [ flag ]"]
+    ):
+        print(" ", guarantee)
+
+    # Fan a scenario grid across workers (threads here; "process" for
+    # full isolation, "serial" for debugging).
+    from repro.viterbi import ViterbiModelConfig, build_convergence_model
+
+    def c1_at(point):
+        config = ViterbiModelConfig(
+            snr_db=point["snr_db"], traceback_length=point["length"]
+        )
+        chain = build_convergence_model(config).chain
+        return check(chain, "S=? [ nonconv ]").value
+
+    points = grid(snr_db=[6.0, 8.0], length=[3, 4])
+    for point, c1 in zip(points, sweep_values(c1_at, points)):
+        print(f"  L={point['length']} @ {point['snr_db']:.0f} dB -> C1 = {c1:.3e}")
+
+
 if __name__ == "__main__":
     part1_any_dtmc()
     part2_paper_flow()
+    part3_engine_layer()

@@ -18,9 +18,17 @@ Quick start::
     print(analyzer.average_case(300)) # P2:  R=? [ I=300 ]
     print(analyzer.ber())             # BER: S=? [ flag ]
 
+Solver backends are selectable through :class:`repro.engine.SolverConfig`
+(direct, LU-cached, power, Jacobi, Gauss-Seidel), and scenario sweeps
+fan across workers with :func:`repro.engine.sweep`::
+
+    from repro import SolverConfig, check
+    check(chain, "P=? [ F done ]", config=SolverConfig(method="jacobi"))
+
 Subpackages
 -----------
 ``repro.core``     — metrics, analyzer, verified reductions
+``repro.engine``   — unified solver engine, caches, scenario sweeps
 ``repro.dtmc``     — explicit-state DTMC engine + builder
 ``repro.pctl``     — pCTL syntax, parser, model checker
 ``repro.prog``     — guarded-command modeling language
@@ -34,9 +42,10 @@ Subpackages
 
 from .core import Guarantee, PerformanceAnalyzer
 from .dtmc import DTMC, build_dtmc, build_iid_dtmc, dtmc_from_dict
+from .engine import Engine, SolverConfig, grid, sweep, sweep_values
 from .pctl import check, parse_formula
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Guarantee",
@@ -45,6 +54,11 @@ __all__ = [
     "build_dtmc",
     "build_iid_dtmc",
     "dtmc_from_dict",
+    "Engine",
+    "SolverConfig",
+    "grid",
+    "sweep",
+    "sweep_values",
     "check",
     "parse_formula",
     "__version__",

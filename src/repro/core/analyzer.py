@@ -18,9 +18,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Union
 
 from ..dtmc import DTMC, assert_ergodic, reachability_iterations
+from ..engine import Engine, SolverConfig, default_engine
 from ..pctl import ModelChecker
 from .metrics import (
     MetricSpec,
@@ -41,6 +42,11 @@ class Guarantee:
     Unlike a simulation estimate, the value carries no sampling error:
     it is exact for the model up to linear-algebra round-off, which is
     what the paper means by a statistical *guarantee*.
+
+    ``backend`` and ``cache_hits`` record how the number was obtained:
+    the engine's solver method and how many cached results
+    (factorizations, Prob0/Prob1 sets, long-run structure) this check
+    reused instead of recomputing.
     """
 
     metric: str
@@ -49,12 +55,15 @@ class Guarantee:
     model_states: int
     model_transitions: int
     check_seconds: float
+    backend: str = "lu"
+    cache_hits: int = 0
 
     def __str__(self) -> str:
         return (
             f"{self.metric} = {self.value:.6g}   "
             f"[{self.property_string}; {self.model_states} states,"
-            f" {self.check_seconds:.2f}s]"
+            f" {self.check_seconds:.2f}s; {self.backend}"
+            f" engine, {self.cache_hits} cache hits]"
         )
 
 
@@ -65,44 +74,72 @@ class PerformanceAnalyzer:
     :meth:`for_viterbi`, :meth:`for_viterbi_worst_case`,
     :meth:`for_viterbi_convergence` and :meth:`for_mimo_detector`,
     which build the (reduced, by default) models of Sections IV-A-C.
+
+    All metric checks run through one :class:`repro.engine.Engine`
+    (selectable via ``engine``/``solver``), so a batch of metrics pays
+    for its factorizations and graph precomputations once; see
+    :meth:`check_many`.
     """
 
-    def __init__(self, chain: DTMC, name: str = "model") -> None:
+    def __init__(
+        self,
+        chain: DTMC,
+        name: str = "model",
+        *,
+        engine: Optional[Engine] = None,
+        solver: Union[SolverConfig, str, None] = None,
+    ) -> None:
         self.chain = chain
         self.name = name
-        self.checker = ModelChecker(chain)
+        self.engine = default_engine(solver, engine)
+        self.checker = ModelChecker(chain, engine=self.engine)
         self.history: List[Guarantee] = []
 
     # ------------------------------------------------------------------
     # Factories for the paper's case studies
     # ------------------------------------------------------------------
     @classmethod
-    def for_viterbi(cls, config=None, reduced: bool = True) -> "PerformanceAnalyzer":
+    def for_viterbi(
+        cls, config=None, reduced: bool = True, *, solver=None
+    ) -> "PerformanceAnalyzer":
         """Viterbi error model (Section IV-A); reduced ``M_R`` by default."""
         from ..viterbi import build_full_model, build_reduced_model
 
         build = build_reduced_model if reduced else build_full_model
         result = build(config)
         kind = "reduced" if reduced else "full"
-        return cls(result.chain, name=f"viterbi-{kind}")
+        return cls(result.chain, name=f"viterbi-{kind}", solver=solver)
 
     @classmethod
-    def for_viterbi_worst_case(cls, config=None) -> "PerformanceAnalyzer":
+    def for_viterbi_worst_case(cls, config=None, *, solver=None) -> "PerformanceAnalyzer":
         """Viterbi model with the P3 error counter."""
         from ..viterbi import build_error_count_model
 
-        return cls(build_error_count_model(config).chain, name="viterbi-errcnt")
+        return cls(
+            build_error_count_model(config).chain,
+            name="viterbi-errcnt",
+            solver=solver,
+        )
 
     @classmethod
-    def for_viterbi_convergence(cls, config=None) -> "PerformanceAnalyzer":
+    def for_viterbi_convergence(cls, config=None, *, solver=None) -> "PerformanceAnalyzer":
         """Traceback-convergence model (Section IV-C)."""
         from ..viterbi import build_convergence_model
 
-        return cls(build_convergence_model(config).chain, name="viterbi-conv")
+        return cls(
+            build_convergence_model(config).chain,
+            name="viterbi-conv",
+            solver=solver,
+        )
 
     @classmethod
     def for_mimo_detector(
-        cls, config=None, reduced: bool = True, branch_cutoff: float = 0.0
+        cls,
+        config=None,
+        reduced: bool = True,
+        branch_cutoff: float = 0.0,
+        *,
+        solver=None,
     ) -> "PerformanceAnalyzer":
         """MIMO ML detector model (Section IV-B); symmetry-reduced by
         default."""
@@ -112,7 +149,7 @@ class PerformanceAnalyzer:
             config, reduced=reduced, branch_cutoff=branch_cutoff
         )
         kind = "reduced" if reduced else "full"
-        return cls(result.chain, name=f"mimo-{kind}")
+        return cls(result.chain, name=f"mimo-{kind}", solver=solver)
 
     # ------------------------------------------------------------------
     # Checking
@@ -123,6 +160,7 @@ class PerformanceAnalyzer:
             name, prop = metric.name, metric.property_string
         else:
             name, prop = "pCTL", str(metric)
+        hits_before = self.engine.stats.cache_hits
         start = time.perf_counter()
         result = self.checker.check(prop)
         elapsed = time.perf_counter() - start
@@ -133,9 +171,26 @@ class PerformanceAnalyzer:
             model_states=self.chain.num_states,
             model_transitions=self.chain.num_transitions,
             check_seconds=elapsed,
+            backend=self.engine.config.method,
+            cache_hits=self.engine.stats.cache_hits - hits_before,
         )
         self.history.append(guarantee)
         return guarantee
+
+    def check_many(
+        self, metrics: Iterable[Union[MetricSpec, str]]
+    ) -> List[Guarantee]:
+        """Check a batch of metrics with one set of factorizations.
+
+        All metrics run against this analyzer's shared engine, so the
+        chain's LU factorization, Prob0/Prob1 precomputations and
+        long-run structure are computed at most once per
+        ``(chain, target-set)`` and reused — the batched counterpart of
+        calling :meth:`check` in a loop with a fresh analyzer each
+        time.  Each returned :class:`Guarantee` records the backend and
+        how many cached results it reused.
+        """
+        return [self.check(metric) for metric in metrics]
 
     def best_case(self, horizon: int, flag: str = "flag") -> Guarantee:
         """P1 at the given horizon."""

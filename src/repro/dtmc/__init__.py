@@ -16,6 +16,7 @@ from .builder import (
 from .graph import (
     backward_reachable,
     bottom_sccs,
+    constrained_backward_reachable,
     is_aperiodic,
     is_irreducible,
     period,
@@ -26,7 +27,9 @@ from .graph import (
 from .linear import SolverError, gauss_seidel_solve, jacobi_solve, power_solve
 from .rewards import RewardStructure, attach_reward
 from .simulate import PathSampler, sample_path
+from .sparse_utils import as_csr
 from .steady_state import (
+    ReducibleChainError,
     absorption_probabilities,
     assert_ergodic,
     long_run_distribution,
@@ -54,6 +57,7 @@ __all__ = [
     "build_iid_dtmc",
     "backward_reachable",
     "bottom_sccs",
+    "constrained_backward_reachable",
     "is_aperiodic",
     "is_irreducible",
     "period",
@@ -68,6 +72,8 @@ __all__ = [
     "attach_reward",
     "PathSampler",
     "sample_path",
+    "as_csr",
+    "ReducibleChainError",
     "absorption_probabilities",
     "assert_ergodic",
     "long_run_distribution",

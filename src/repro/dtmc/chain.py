@@ -21,29 +21,12 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Seque
 import numpy as np
 from scipy import sparse
 
+from .sparse_utils import DTMCValidationError, as_csr
+
 __all__ = ["DTMC", "DTMCValidationError", "dtmc_from_dict"]
 
 #: Tolerance used when validating that transition rows are stochastic.
 ROW_SUM_TOLERANCE = 1e-9
-
-
-class DTMCValidationError(ValueError):
-    """Raised when a transition structure is not a valid DTMC."""
-
-
-def _as_csr(matrix: Any, n: Optional[int] = None) -> sparse.csr_matrix:
-    """Coerce ``matrix`` into a square CSR matrix of float64."""
-    csr = sparse.csr_matrix(matrix, dtype=np.float64)
-    rows, cols = csr.shape
-    if rows != cols:
-        raise DTMCValidationError(
-            f"transition matrix must be square, got {rows}x{cols}"
-        )
-    if n is not None and rows != n:
-        raise DTMCValidationError(
-            f"transition matrix has {rows} states, expected {n}"
-        )
-    return csr
 
 
 @dataclass
@@ -80,7 +63,7 @@ class DTMC:
     validate: bool = True
 
     def __post_init__(self) -> None:
-        self.transition_matrix = _as_csr(self.transition_matrix)
+        self.transition_matrix = as_csr(self.transition_matrix, require_square=True)
         n = self.transition_matrix.shape[0]
         if np.isscalar(self.initial_distribution):
             init = np.zeros(n)

@@ -34,6 +34,7 @@ __all__ = [
     "period",
     "is_aperiodic",
     "backward_reachable",
+    "constrained_backward_reachable",
 ]
 
 
@@ -104,6 +105,31 @@ def backward_reachable(chain: DTMC, targets: Sequence[int]) -> Set[int]:
             for v in indices[indptr[u] : indptr[u + 1]]:
                 v = int(v)
                 if v not in seen:
+                    seen.add(v)
+                    next_frontier.append(v)
+        frontier = next_frontier
+    return seen
+
+
+def constrained_backward_reachable(
+    chain: DTMC, targets: Sequence[int], through: np.ndarray
+) -> Set[int]:
+    """States that can reach ``targets`` moving only through ``through``
+    states (the targets themselves need not satisfy ``through``).
+
+    This is the graph kernel of the Prob0/Prob1 precomputations of
+    pCTL model checking (Baier & Katoen, Algorithm 46).
+    """
+    transpose = chain.transition_matrix.tocsc()
+    indptr, indices = transpose.indptr, transpose.indices
+    seen: Set[int] = set(int(t) for t in targets)
+    frontier = list(seen)
+    while frontier:
+        next_frontier: List[int] = []
+        for u in frontier:
+            for v in indices[indptr[u] : indptr[u + 1]]:
+                v = int(v)
+                if v not in seen and through[v]:
                     seen.add(v)
                     next_frontier.append(v)
         frontier = next_frontier

@@ -19,18 +19,27 @@ from typing import Optional, Tuple
 import numpy as np
 from scipy import sparse
 
-__all__ = ["power_solve", "jacobi_solve", "gauss_seidel_solve", "SolverError"]
+from .sparse_utils import as_csr as _as_csr
+
+__all__ = [
+    "power_solve",
+    "jacobi_solve",
+    "gauss_seidel_solve",
+    "SolverError",
+    "ITERATIVE_METHODS",
+]
 
 DEFAULT_TOLERANCE = 1e-12
 DEFAULT_MAX_ITERATIONS = 1_000_000
 
+#: Canonical names of the fixpoint-iteration solver family provided by
+#: this module; shared by the steady-state layer and
+#: :mod:`repro.engine.config` so the sets cannot drift apart.
+ITERATIVE_METHODS = ("power", "jacobi", "gauss-seidel")
+
 
 class SolverError(RuntimeError):
     """Raised when an iterative solver fails to converge."""
-
-
-def _as_csr(matrix) -> sparse.csr_matrix:
-    return sparse.csr_matrix(matrix, dtype=np.float64)
 
 
 def power_solve(

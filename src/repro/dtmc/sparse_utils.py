@@ -1,0 +1,43 @@
+"""Shared sparse-matrix coercion used across the DTMC and engine layers.
+
+Historically :mod:`repro.dtmc.chain` and :mod:`repro.dtmc.linear` each
+carried a private ``_as_csr`` copy; this module is the single home for
+that coercion (and for the validation error it raises), so the chain,
+the iterative solvers, and :mod:`repro.engine` all agree on one code
+path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+from scipy import sparse
+
+__all__ = ["DTMCValidationError", "as_csr"]
+
+
+class DTMCValidationError(ValueError):
+    """Raised when a transition structure is not a valid DTMC."""
+
+
+def as_csr(
+    matrix: Any, n: Optional[int] = None, *, require_square: bool = False
+) -> sparse.csr_matrix:
+    """Coerce ``matrix`` into a float64 CSR matrix.
+
+    With ``require_square`` (what transition matrices need) the matrix
+    must be square, and when ``n`` is given, of size ``n x n``.
+    """
+    csr = sparse.csr_matrix(matrix, dtype=np.float64)
+    if require_square:
+        rows, cols = csr.shape
+        if rows != cols:
+            raise DTMCValidationError(
+                f"transition matrix must be square, got {rows}x{cols}"
+            )
+        if n is not None and rows != n:
+            raise DTMCValidationError(
+                f"transition matrix has {rows} states, expected {n}"
+            )
+    return csr

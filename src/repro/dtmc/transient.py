@@ -7,7 +7,10 @@ reachability probabilities.
 
 All routines work with a *distribution row vector* ``pi`` and iterate
 ``pi <- pi @ P`` with the sparse transition matrix; cost is
-``O(T * nnz(P))`` and no matrix powers are ever formed.
+``O(T * nnz(P))`` and no matrix powers are ever formed.  An optional
+:class:`repro.engine.Engine` can be passed; transient iteration has no
+factorizations to share, so the engine's role here is provenance — it
+accounts the matrix-vector products performed on its behalf.
 """
 
 from __future__ import annotations
@@ -29,7 +32,19 @@ __all__ = [
 ]
 
 
-def distribution_at(chain: DTMC, t: int, initial: Optional[np.ndarray] = None) -> np.ndarray:
+def _account(engine, steps: int) -> None:
+    """Report ``steps`` sparse matvecs to the engine's work counters."""
+    if engine is not None and steps > 0:
+        engine.count_matvecs(steps)
+
+
+def distribution_at(
+    chain: DTMC,
+    t: int,
+    initial: Optional[np.ndarray] = None,
+    *,
+    engine=None,
+) -> np.ndarray:
     """State distribution after exactly ``t`` transitions.
 
     ``initial`` defaults to the chain's initial distribution.
@@ -42,11 +57,16 @@ def distribution_at(chain: DTMC, t: int, initial: Optional[np.ndarray] = None) -
     matrix = chain.transition_matrix
     for _ in range(t):
         pi = pi @ matrix
+    _account(engine, t)
     return pi
 
 
 def distribution_trajectory(
-    chain: DTMC, horizon: int, initial: Optional[np.ndarray] = None
+    chain: DTMC,
+    horizon: int,
+    initial: Optional[np.ndarray] = None,
+    *,
+    engine=None,
 ) -> Iterator[np.ndarray]:
     """Yield the distribution at steps ``0, 1, ..., horizon`` lazily."""
     pi = np.array(
@@ -56,10 +76,13 @@ def distribution_trajectory(
     yield pi.copy()
     for _ in range(horizon):
         pi = pi @ matrix
+        _account(engine, 1)
         yield pi.copy()
 
 
-def instantaneous_reward(chain: DTMC, reward: str | np.ndarray, t: int) -> float:
+def instantaneous_reward(
+    chain: DTMC, reward: str | np.ndarray, t: int, *, engine=None
+) -> float:
     """Expected reward earned *at* step ``t``: ``R=? [ I=t ]``.
 
     This is the paper's average-case metric P2 (and C1 for the
@@ -68,11 +91,13 @@ def instantaneous_reward(chain: DTMC, reward: str | np.ndarray, t: int) -> float
     converges to the BER as ``t`` grows past the reachability fixpoint.
     """
     vec = chain.reward_vector(reward) if isinstance(reward, str) else np.asarray(reward)
-    pi = distribution_at(chain, t)
+    pi = distribution_at(chain, t, engine=engine)
     return float(pi @ vec)
 
 
-def cumulative_reward(chain: DTMC, reward: str | np.ndarray, t: int) -> float:
+def cumulative_reward(
+    chain: DTMC, reward: str | np.ndarray, t: int, *, engine=None
+) -> float:
     """Expected total reward accumulated over steps ``0 .. t-1``: ``R=? [ C<=t ]``."""
     vec = chain.reward_vector(reward) if isinstance(reward, str) else np.asarray(reward)
     total = 0.0
@@ -81,19 +106,25 @@ def cumulative_reward(chain: DTMC, reward: str | np.ndarray, t: int) -> float:
     for _ in range(t):
         total += float(pi @ vec)
         pi = pi @ matrix
+    _account(engine, t)
     return total
 
 
-def expected_visits(chain: DTMC, t: int) -> np.ndarray:
+def expected_visits(chain: DTMC, t: int, *, engine=None) -> np.ndarray:
     """Expected number of visits to each state during steps ``0 .. t``."""
     visits = np.zeros(chain.num_states)
-    for pi in distribution_trajectory(chain, t):
+    for pi in distribution_trajectory(chain, t, engine=engine):
         visits += pi
     return visits
 
 
 def bounded_reachability(
-    chain: DTMC, target: np.ndarray, t: int, avoid: Optional[np.ndarray] = None
+    chain: DTMC,
+    target: np.ndarray,
+    t: int,
+    avoid: Optional[np.ndarray] = None,
+    *,
+    engine=None,
 ) -> np.ndarray:
     """Per-state probability of reaching ``target`` within ``t`` steps.
 
@@ -118,10 +149,13 @@ def bounded_reachability(
     matrix = chain.transition_matrix
     for _ in range(t):
         x = np.where(target, 1.0, np.where(may_pass, matrix @ x, 0.0))
+    _account(engine, t)
     return x
 
 
-def bounded_invariance(chain: DTMC, safe: np.ndarray, t: int) -> np.ndarray:
+def bounded_invariance(
+    chain: DTMC, safe: np.ndarray, t: int, *, engine=None
+) -> np.ndarray:
     """Per-state probability that ``safe`` holds at *every* step ``0 .. t``.
 
     This is ``P=? [ G<=t phi ]`` — the paper's best-case metric P1 with
@@ -129,5 +163,5 @@ def bounded_invariance(chain: DTMC, safe: np.ndarray, t: int) -> np.ndarray:
     """
     safe = np.asarray(safe, dtype=bool)
     violating = ~safe
-    reach_bad = bounded_reachability(chain, violating, t)
+    reach_bad = bounded_reachability(chain, violating, t, engine=engine)
     return 1.0 - reach_bad

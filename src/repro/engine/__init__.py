@@ -1,0 +1,31 @@
+"""Unified solver-engine layer.
+
+Everything numerical in the library — pCTL until/reward solves, steady
+state, long-run structure — routes through one :class:`Engine` whose
+backend is chosen by a :class:`SolverConfig` (direct, LU-cached,
+power, Jacobi, or Gauss-Seidel).  The engine owns per-chain caches
+(LU factorizations, Prob0/Prob1 precomputations, BSCC decompositions,
+stationary distributions), so a batch of properties against one chain
+pays for its linear algebra once.
+
+:mod:`repro.engine.sweep` is the scenario fan-out companion: grids of
+design points (SNR, traceback length, quantizer levels) spread across
+``concurrent.futures`` workers.
+"""
+
+from .config import ITERATIVE_METHODS, SOLVER_METHODS, SolverConfig
+from .core import Engine, EngineStats, default_engine
+from .sweep import SweepResult, grid, sweep, sweep_values
+
+__all__ = [
+    "ITERATIVE_METHODS",
+    "SOLVER_METHODS",
+    "SolverConfig",
+    "Engine",
+    "EngineStats",
+    "default_engine",
+    "SweepResult",
+    "grid",
+    "sweep",
+    "sweep_values",
+]

@@ -1,0 +1,148 @@
+"""Parallel scenario sweeps: SNR grids, traceback lengths, quantizers.
+
+The paper's experiments are all sweeps — a model rebuilt and re-checked
+per design point (Figure 2 sweeps traceback length, Table V sweeps
+antenna configurations).  Each point is independent, so this module
+fans them across :mod:`concurrent.futures` workers and returns ordered,
+timed, error-capturing results:
+
+>>> from repro.engine import grid, sweep
+>>> points = grid(snr_db=[4.0, 8.0], length=[3, 4])
+>>> results = sweep(lambda p: p["snr_db"] * p["length"], points,
+...                 executor="serial")
+>>> [r.value for r in results]
+[12.0, 16.0, 24.0, 32.0]
+
+``executor`` selects ``"thread"`` (default — model building spends
+most time in scipy, which releases the GIL), ``"process"`` (full
+isolation; the sweep function must be picklable), or ``"serial"``
+(in-process, deterministic, used by the tests and for debugging).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["SweepResult", "grid", "sweep", "sweep_values"]
+
+_EXECUTORS = ("serial", "thread", "process")
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one sweep point.
+
+    Attributes
+    ----------
+    point:
+        The input scenario, exactly as submitted.
+    value:
+        The sweep function's return value (``None`` if it raised).
+    seconds:
+        Wall-clock time of this point alone.
+    error:
+        ``"ExcType: message"`` when the point failed, else ``None``.
+    """
+
+    point: Any
+    value: Any
+    seconds: float
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def grid(**axes: Iterable[Any]) -> List[Dict[str, Any]]:
+    """Cartesian product of named axes as a list of scenario dicts.
+
+    >>> grid(snr_db=[4, 8], levels=[3])
+    [{'snr_db': 4, 'levels': 3}, {'snr_db': 8, 'levels': 3}]
+    """
+    names = list(axes)
+    combos = itertools.product(*(list(axes[name]) for name in names))
+    return [dict(zip(names, combo)) for combo in combos]
+
+
+def _run_point(fn: Callable[[Any], Any], point: Any) -> SweepResult:
+    start = time.perf_counter()
+    try:
+        value = fn(point)
+    except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+        return SweepResult(
+            point=point,
+            value=None,
+            seconds=time.perf_counter() - start,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    return SweepResult(
+        point=point, value=value, seconds=time.perf_counter() - start
+    )
+
+
+def sweep(
+    fn: Callable[[Any], Any],
+    points: Sequence[Any],
+    *,
+    executor: str = "thread",
+    max_workers: Optional[int] = None,
+    on_error: str = "capture",
+) -> List[SweepResult]:
+    """Evaluate ``fn`` on every point, fanning across workers.
+
+    Results come back in submission order regardless of completion
+    order.  With ``on_error="capture"`` (default) a failing point
+    yields a :class:`SweepResult` with ``error`` set and the sweep
+    continues; ``on_error="raise"`` re-raises the first failure after
+    the pool drains.
+    """
+    if executor not in _EXECUTORS:
+        raise ValueError(
+            f"unknown executor {executor!r}; choose from {', '.join(_EXECUTORS)}"
+        )
+    if on_error not in ("capture", "raise"):
+        raise ValueError(f"on_error must be 'capture' or 'raise', got {on_error!r}")
+    points = list(points)
+    if executor == "serial" or len(points) <= 1:
+        results = [_run_point(fn, point) for point in points]
+    else:
+        pool_cls = (
+            ThreadPoolExecutor if executor == "thread" else ProcessPoolExecutor
+        )
+        workers = max_workers or min(len(points), os.cpu_count() or 1)
+        with pool_cls(max_workers=workers) as pool:
+            futures = [pool.submit(_run_point, fn, point) for point in points]
+            results = [future.result() for future in futures]
+    if on_error == "raise":
+        for result in results:
+            if not result.ok:
+                raise RuntimeError(
+                    f"sweep point {result.point!r} failed: {result.error}"
+                )
+    return results
+
+
+def sweep_values(
+    fn: Callable[[Any], Any],
+    points: Sequence[Any],
+    *,
+    executor: str = "thread",
+    max_workers: Optional[int] = None,
+) -> List[Any]:
+    """Like :func:`sweep` but returns bare values, raising on failure."""
+    return [
+        result.value
+        for result in sweep(
+            fn,
+            points,
+            executor=executor,
+            max_workers=max_workers,
+            on_error="raise",
+        )
+    ]

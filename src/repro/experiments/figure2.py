@@ -3,10 +3,11 @@
 The paper plots the probability of non-converging traceback paths
 against L at a fixed SNR, observing that it decreases with L and
 "stabilizes past L = 5m" — the empirical rule of thumb for choosing
-traceback depth.  The driver sweeps L, checks the steady C1 on each
-convergence model, prints the series with the relative change per step
-(the quantitative version of "stabilizes"), and renders a small ASCII
-log-scale plot.
+traceback depth.  The driver fans the L sweep across
+:func:`repro.engine.sweep` workers (each point builds and checks its
+own convergence model), prints the series with the relative change per
+step (the quantitative version of "stabilizes"), and renders a small
+ASCII log-scale plot.
 """
 
 from __future__ import annotations
@@ -14,9 +15,11 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from functools import partial
+from typing import List, Optional, Sequence, Tuple
 
-from ..pctl import check
+from ..engine import sweep
+from ..pctl import ModelChecker
 from ..viterbi import ViterbiModelConfig, build_convergence_model
 from .report import banner, format_table
 
@@ -45,30 +48,47 @@ class Figure2Result:
         return [abs(b - a) for a, b in zip(self.values, self.values[1:])]
 
 
+def _check_point(
+    length: int, snr_db: float, horizon: Optional[int]
+) -> Tuple[float, int]:
+    """One sweep point: build the convergence model at ``length``, check C1.
+
+    Module-level (not a closure) so ``executor="process"`` can pickle it.
+    """
+    config = ViterbiModelConfig(snr_db=snr_db, traceback_length=length)
+    result = build_convergence_model(config)
+    checker = ModelChecker(result.chain)
+    prop = "S=? [ nonconv ]" if horizon is None else f"R=? [ I={horizon} ]"
+    return float(checker.check(prop).value), result.num_states
+
+
 def run(
     lengths: Sequence[int] = (2, 3, 4, 5, 6, 7, 8, 9, 10),
     snr_db: float = 8.0,
     horizon: Optional[int] = None,
+    executor: str = "thread",
+    max_workers: Optional[int] = None,
 ) -> Figure2Result:
     """Sweep the traceback length; C1 via steady state (or ``R=?[I=h]``
-    when ``horizon`` is given, as in the paper)."""
+    when ``horizon`` is given, as in the paper).
+
+    Each sweep point is independent (own model, own checker), so the
+    points fan across ``executor`` workers ("thread", "process", or
+    "serial" for a deterministic in-process run).
+    """
     start = time.perf_counter()
-    values: List[float] = []
-    states: List[int] = []
-    for length in lengths:
-        config = ViterbiModelConfig(snr_db=snr_db, traceback_length=length)
-        result = build_convergence_model(config)
-        if horizon is None:
-            value = check(result.chain, "S=? [ nonconv ]").value
-        else:
-            value = check(result.chain, f"R=? [ I={horizon} ]").value
-        values.append(float(value))
-        states.append(result.num_states)
+    results = sweep(
+        partial(_check_point, snr_db=snr_db, horizon=horizon),
+        list(lengths),
+        executor=executor,
+        max_workers=max_workers,
+        on_error="raise",
+    )
     elapsed = time.perf_counter() - start
     return Figure2Result(
         lengths=list(lengths),
-        values=values,
-        states=states,
+        values=[r.value[0] for r in results],
+        states=[r.value[1] for r in results],
         snr_db=snr_db,
         seconds=elapsed,
     )

@@ -19,8 +19,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from functools import partial
 from typing import List, Optional, Tuple
 
+from ..engine import sweep_values
 from ..mimo import (
     MimoSystemConfig,
     build_detector_model,
@@ -50,42 +52,59 @@ class Table2Row:
         return self.states_full / self.states_reduced
 
 
+def _build_system(
+    item: Tuple[str, MimoSystemConfig], branch_cutoff: float
+) -> Table2Row:
+    """One sweep point: build one detector system (module-level so
+    ``executor="process"`` can pickle it)."""
+    name, config = item
+    start = time.perf_counter()
+    reduced = build_detector_model(
+        config, reduced=True, branch_cutoff=branch_cutoff
+    )
+    # Build the full model explicitly only when it is small enough
+    # to hold its (dense-row) matrix; otherwise count it exactly.
+    full_count = full_state_count(config)
+    built = full_count <= 5_000
+    if built:
+        full = build_detector_model(
+            config, reduced=False, branch_cutoff=branch_cutoff
+        )
+        full_count = full.num_states
+    return Table2Row(
+        system=name,
+        states_full=full_count,
+        states_reduced=reduced.num_states,
+        seconds=time.perf_counter() - start,
+        full_was_built=built,
+    )
+
+
 def run(
     configs: Optional[List[Tuple[str, MimoSystemConfig]]] = None,
     branch_cutoff: float = 1e-15,
+    executor: str = "serial",
 ) -> List[Table2Row]:
-    """Build the detectors (reduced always; full where tractable)."""
+    """Build the detectors (reduced always; full where tractable).
+
+    The per-system builds are independent and fan across
+    :func:`repro.engine.sweep` workers; the default is ``"serial"``
+    because this table *reports* per-system build seconds, and timing
+    inside concurrent workers would inflate each row with contention
+    from the others.  Pass ``executor="process"`` for parallel builds
+    with honest per-row timing, or ``"thread"`` when timing is not the
+    point.
+    """
     if configs is None:
         configs = [
             ("1x2", MimoSystemConfig(num_rx=2, snr_db=8.0)),
             ("1x4", MimoSystemConfig(num_rx=4, snr_db=12.0)),
         ]
-    rows: List[Table2Row] = []
-    for name, config in configs:
-        start = time.perf_counter()
-        reduced = build_detector_model(
-            config, reduced=True, branch_cutoff=branch_cutoff
-        )
-        # Build the full model explicitly only when it is small enough
-        # to hold its (dense-row) matrix; otherwise count it exactly.
-        full_count = full_state_count(config)
-        built = full_count <= 5_000
-        if built:
-            full = build_detector_model(
-                config, reduced=False, branch_cutoff=branch_cutoff
-            )
-            full_count = full.num_states
-        elapsed = time.perf_counter() - start
-        rows.append(
-            Table2Row(
-                system=name,
-                states_full=full_count,
-                states_reduced=reduced.num_states,
-                seconds=elapsed,
-                full_was_built=built,
-            )
-        )
-    return rows
+    return sweep_values(
+        partial(_build_system, branch_cutoff=branch_cutoff),
+        list(configs),
+        executor=executor,
+    )
 
 
 def main(

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..dtmc import reachability_iterations
-from ..pctl import check
+from ..pctl import ModelChecker
 from ..viterbi import ViterbiModelConfig, build_reduced_model
 from .report import banner, format_table
 
@@ -55,10 +55,14 @@ def run(
     start = time.perf_counter()
     result = build_reduced_model(config)
     chain = result.chain
-    values = [
-        float(check(chain, f"R=? [ I={t} ]").value) for t in horizons
-    ]
-    steady = float(check(chain, "S=? [ flag ]").value)
+    # All horizons plus the steady-state reference run as one batch
+    # against a single engine, sharing the chain's cached structure.
+    checker = ModelChecker(chain)
+    results = checker.check_many(
+        [f"R=? [ I={t} ]" for t in horizons] + ["S=? [ flag ]"]
+    )
+    values = [float(r.value) for r in results[:-1]]
+    steady = float(results[-1].value)
     elapsed = time.perf_counter() - start
     return Table3Result(
         horizons=list(horizons),

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..dtmc import reachability_iterations
-from ..pctl import check
+from ..pctl import ModelChecker
 from ..viterbi import ViterbiModelConfig, build_convergence_model
 from .report import banner, format_table
 
@@ -61,10 +61,13 @@ def run(
     start = time.perf_counter()
     result = build_convergence_model(config)
     chain = result.chain
-    values = [
-        float(check(chain, f"R=? [ I={t} ]").value) for t in horizons
-    ]
-    steady = float(check(chain, "S=? [ nonconv ]").value)
+    # Batched: horizons + steady state share one engine's caches.
+    checker = ModelChecker(chain)
+    results = checker.check_many(
+        [f"R=? [ I={t} ]" for t in horizons] + ["S=? [ nonconv ]"]
+    )
+    values = [float(r.value) for r in results[:-1]]
+    steady = float(results[-1].value)
     elapsed = time.perf_counter() - start
     return Table4Result(
         horizons=list(horizons),

@@ -17,10 +17,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from functools import partial
 from typing import List, Optional, Sequence, Tuple
 
+from ..engine import sweep_values
 from ..mimo import MimoSystemConfig, build_detector_model
-from ..pctl import check
+from ..pctl import ModelChecker
 from ..sim import BerEstimate, rule_of_three_upper_bound, simulate_detector_ber
 from .report import banner, format_table
 
@@ -55,12 +57,31 @@ class Table5Result:
     seconds: float
 
 
+def _check_system(
+    item: Tuple[str, MimoSystemConfig], horizons: Sequence[int]
+) -> Table5Row:
+    """One sweep point per antenna configuration: build the reduced
+    detector, then batch all horizons through one checker/engine.
+    Module-level so ``executor="process"`` can pickle it."""
+    name, config = item
+    result = build_detector_model(config, reduced=True)
+    checker = ModelChecker(result.chain)
+    results = checker.check_many([f"R=? [ I={t} ]" for t in horizons])
+    return Table5Row(
+        system=name,
+        horizons=list(horizons),
+        values=[float(r.value) for r in results],
+        states=result.num_states,
+    )
+
+
 def run(
     configs: Optional[List[Tuple[str, MimoSystemConfig]]] = None,
     horizons: Sequence[int] = (5, 10, 20),
     short_sim_steps: int = 100_000,
     long_sim_steps: int = 2_000_000,
     with_simulation: bool = True,
+    executor: str = "thread",
 ) -> Table5Result:
     if configs is None:
         configs = [
@@ -68,21 +89,11 @@ def run(
             ("1x4", MimoSystemConfig(num_rx=4, snr_db=12.0)),
         ]
     start = time.perf_counter()
-    rows: List[Table5Row] = []
-    for name, config in configs:
-        result = build_detector_model(config, reduced=True)
-        values = [
-            float(check(result.chain, f"R=? [ I={t} ]").value)
-            for t in horizons
-        ]
-        rows.append(
-            Table5Row(
-                system=name,
-                horizons=list(horizons),
-                values=values,
-                states=result.num_states,
-            )
-        )
+    rows: List[Table5Row] = sweep_values(
+        partial(_check_system, horizons=tuple(horizons)),
+        list(configs),
+        executor=executor,
+    )
 
     short_sim = long_sim = None
     model_ber = rows[-1].values[-1]

@@ -5,35 +5,36 @@ Implements the standard algorithms (Hansson & Jonsson; Baier & Katoen,
 
 * bounded operators by iterated sparse matrix-vector products,
 * unbounded until via the Prob0/Prob1 graph precomputations plus a
-  sparse linear solve on the remaining states,
+  linear solve on the remaining states,
 * instantaneous / cumulative / long-run rewards via the transient and
   steady-state solvers of :mod:`repro.dtmc`,
 * reachability rewards with the standard infinite-value treatment for
   states that do not reach the target almost surely.
 
+Every linear solve routes through a :class:`repro.engine.Engine`, so
+the backend (direct, LU-cached, power, Jacobi, Gauss-Seidel) is
+selectable via :class:`repro.engine.SolverConfig` and factorizations,
+Prob0/Prob1 sets and long-run structure are reused across the
+properties checked by one :class:`ModelChecker`.
+
 The public entry point is :func:`check` (or the :class:`ModelChecker`
-class when several properties are checked against one chain).
+class when several properties are checked against one chain —
+:meth:`ModelChecker.check_many` batches them over shared caches).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Mapping, Optional, Sequence, Union
+from typing import Any, Iterable, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
-from scipy import sparse
-from scipy.sparse import linalg as sparse_linalg
 
 from ..dtmc import DTMC
-from ..dtmc.graph import backward_reachable
-from ..dtmc.steady_state import long_run_distribution
 from ..dtmc.transient import (
     bounded_invariance,
     bounded_reachability,
-    cumulative_reward,
-    distribution_at,
-    instantaneous_reward,
 )
+from ..engine import Engine, SolverConfig, default_engine
 from .ast import (
     And,
     Bound,
@@ -110,10 +111,25 @@ class ModelChecker:
         The model.  Labels referenced by formulas must either exist on
         the chain or be resolvable as state-variable lookups (states
         that are mappings or have named attributes, e.g. namedtuples).
+    engine:
+        A :class:`repro.engine.Engine` to route all linear solves
+        through.  Sharing one engine across checkers (or reusing one
+        checker) shares LU factorizations, Prob0/Prob1 precomputations
+        and long-run structure between properties.
+    config:
+        Shorthand when no engine is shared: a
+        :class:`repro.engine.SolverConfig` (or bare method name such as
+        ``"gauss-seidel"``) for a private engine.
     """
 
-    def __init__(self, chain: DTMC) -> None:
+    def __init__(
+        self,
+        chain: DTMC,
+        engine: Optional[Engine] = None,
+        config: Union[SolverConfig, str, None] = None,
+    ) -> None:
         self.chain = chain
+        self.engine = default_engine(config, engine)
 
     # ------------------------------------------------------------------
     # Entry points
@@ -135,6 +151,20 @@ class ModelChecker:
         init = self.chain.initial_states()
         value = bool(all(sat[i] for i in init))
         return CheckResult(formula, value, sat)
+
+    def check_many(
+        self, formulas: Iterable[Union[str, StateFormula]]
+    ) -> List[CheckResult]:
+        """Check a batch of properties against the chain.
+
+        The properties share this checker's engine, so the expensive
+        per-chain work — LU factorizations, Prob0/Prob1 graph
+        precomputations, BSCC decomposition, stationary distributions —
+        is performed at most once per ``(chain, target-set)`` and
+        reused across the whole batch.  Results are returned in input
+        order.
+        """
+        return [self.check(formula) for formula in formulas]
 
     def _finish_query(
         self, formula: StateFormula, vector: np.ndarray, bound: Bound
@@ -262,7 +292,9 @@ class ModelChecker:
             # G[a,b] f == !(F[a,b] !f)
             inner = self.satisfaction(path.operand)
             if path.lower == 0 and path.bound is not None:
-                return bounded_invariance(chain, inner, path.bound)
+                return bounded_invariance(
+                    chain, inner, path.bound, engine=self.engine
+                )
             reach_bad = self._until(
                 np.ones(chain.num_states, dtype=bool),
                 ~inner,
@@ -308,7 +340,7 @@ class ModelChecker:
             )
         if bound is not None:
             window = bounded_reachability(
-                chain, right, bound - lower, avoid=~left
+                chain, right, bound - lower, avoid=~left, engine=self.engine
             )
         else:
             window = self._unbounded_until(left, right)
@@ -319,64 +351,12 @@ class ModelChecker:
         left_f = left.astype(np.float64)
         for _ in range(lower):
             value = left_f * (matrix @ value)
+        self.engine.count_matvecs(lower)
         return value
 
     def _unbounded_until(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
-        """P(left U right) via Prob0/Prob1 + sparse linear solve."""
-        chain = self.chain
-        n = chain.num_states
-        target_states = np.nonzero(right)[0]
-
-        # Prob0: states that cannot reach `right` along `left`-paths.
-        can_reach = self._constrained_backward(target_states, left & ~right)
-        prob0 = np.ones(n, dtype=bool)
-        prob0[list(can_reach)] = False
-
-        # Prob1 = complement of states that, staying within left&!right,
-        # can reach a Prob0 state (Baier & Katoen, Lemma 10.16).
-        prob0_states = np.nonzero(prob0)[0]
-        can_fail = self._constrained_backward(prob0_states, left & ~right)
-        prob1 = np.zeros(n, dtype=bool)
-        prob1[:] = True
-        prob1[list(can_fail)] = False
-        prob1[prob0_states] = False
-        prob1 |= right  # target states trivially satisfy
-
-        result = np.zeros(n)
-        result[prob1] = 1.0
-
-        unknown = np.nonzero(~prob0 & ~prob1)[0]
-        if unknown.size:
-            matrix = chain.transition_matrix
-            sub = matrix[unknown][:, unknown]
-            rhs = np.asarray(
-                matrix[unknown][:, np.nonzero(prob1)[0]].sum(axis=1)
-            ).ravel()
-            identity = sparse.identity(unknown.size, format="csr")
-            solution = sparse_linalg.spsolve((identity - sub).tocsc(), rhs)
-            result[unknown] = np.clip(np.atleast_1d(solution), 0.0, 1.0)
-        return result
-
-    def _constrained_backward(
-        self, targets: np.ndarray, through: np.ndarray
-    ) -> set:
-        """States that can reach ``targets`` moving only through ``through``
-        states (the targets themselves need not satisfy ``through``)."""
-        chain = self.chain
-        transpose = chain.transition_matrix.tocsc()
-        indptr, indices = transpose.indptr, transpose.indices
-        seen = set(int(t) for t in targets)
-        frontier = list(seen)
-        while frontier:
-            next_frontier = []
-            for u in frontier:
-                for v in indices[indptr[u] : indptr[u + 1]]:
-                    v = int(v)
-                    if v not in seen and through[v]:
-                        seen.add(v)
-                        next_frontier.append(v)
-            frontier = next_frontier
-        return seen
+        """P(left U right): Prob0/Prob1 + linear solve, on the engine."""
+        return self.engine.unbounded_until(self.chain, left, right)
 
     # ------------------------------------------------------------------
     # Steady-state operator
@@ -389,7 +369,7 @@ class ModelChecker:
         distribution, so the per-state vector is constant.
         """
         sat = self.satisfaction(formula)
-        pi = long_run_distribution(self.chain)
+        pi = self.engine.long_run_distribution(self.chain)
         value = float(pi @ sat.astype(np.float64))
         return np.full(self.chain.num_states, value)
 
@@ -416,6 +396,7 @@ class ModelChecker:
             matrix = chain.transition_matrix
             for _ in range(path.time):
                 pi_t = matrix @ pi_t
+            self.engine.count_matvecs(path.time)
             return pi_t
         if isinstance(path, Cumulative):
             total = np.zeros(chain.num_states)
@@ -424,9 +405,10 @@ class ModelChecker:
             for _ in range(path.time):
                 total += current
                 current = matrix @ current
+            self.engine.count_matvecs(path.time)
             return total
         if isinstance(path, LongRunReward):
-            pi = long_run_distribution(chain)
+            pi = self.engine.long_run_distribution(chain)
             value = float(pi @ rho)
             return np.full(chain.num_states, value)
         if isinstance(path, ReachReward):
@@ -437,24 +419,16 @@ class ModelChecker:
         self, rho: np.ndarray, target: np.ndarray
     ) -> np.ndarray:
         """``R=? [F target]`` with the standard infinity semantics."""
-        chain = self.chain
-        n = chain.num_states
-        reach = self._unbounded_until(np.ones(n, dtype=bool), target)
-        finite = reach >= 1.0 - 1e-12
-        result = np.full(n, np.inf)
-        result[target] = 0.0
-        solve_states = np.nonzero(finite & ~target)[0]
-        if solve_states.size:
-            matrix = chain.transition_matrix
-            sub = matrix[solve_states][:, solve_states]
-            identity = sparse.identity(solve_states.size, format="csr")
-            rhs = rho[solve_states]
-            solution = sparse_linalg.spsolve((identity - sub).tocsc(), rhs)
-            result[solve_states] = np.atleast_1d(solution)
-        return result
+        return self.engine.reachability_reward(self.chain, rho, target)
 
 
-def check(chain: DTMC, formula: Union[str, StateFormula]) -> CheckResult:
+def check(
+    chain: DTMC,
+    formula: Union[str, StateFormula],
+    *,
+    engine: Optional[Engine] = None,
+    config: Union[SolverConfig, str, None] = None,
+) -> CheckResult:
     """Check one pCTL property against ``chain``.
 
     Convenience wrapper around :class:`ModelChecker`:
@@ -465,5 +439,9 @@ def check(chain: DTMC, formula: Union[str, StateFormula]) -> CheckResult:
     ...     initial="a", labels={"done": ["b"]})
     >>> check(chain, "P=? [ F<=2 done ]").value
     0.75
+
+    ``engine``/``config`` select the solver backend exactly as for
+    :class:`ModelChecker`; pass a shared engine to reuse factorizations
+    across calls.
     """
-    return ModelChecker(chain).check(formula)
+    return ModelChecker(chain, engine=engine, config=config).check(formula)
