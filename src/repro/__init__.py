@@ -42,10 +42,19 @@ Subpackages
 
 from .core import Guarantee, PerformanceAnalyzer
 from .dtmc import DTMC, build_dtmc, build_iid_dtmc, dtmc_from_dict
-from .engine import Engine, SolverConfig, grid, sweep, sweep_values
+from .engine import (
+    Engine,
+    SmcConfig,
+    SolverConfig,
+    grid,
+    sweep,
+    sweep_check,
+    sweep_values,
+)
 from .pctl import check, parse_formula
+from .smc import smc_decide, smc_estimate
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Guarantee",
@@ -55,11 +64,15 @@ __all__ = [
     "build_iid_dtmc",
     "dtmc_from_dict",
     "Engine",
+    "SmcConfig",
     "SolverConfig",
     "grid",
     "sweep",
+    "sweep_check",
     "sweep_values",
     "check",
     "parse_formula",
+    "smc_decide",
+    "smc_estimate",
     "__version__",
 ]

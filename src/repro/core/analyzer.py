@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Union
 
 from ..dtmc import DTMC, assert_ergodic, reachability_iterations
-from ..engine import Engine, SolverConfig, default_engine
+from ..engine import Engine, SmcConfig, SolverConfig, default_engine
 from ..pctl import ModelChecker
 from .metrics import (
     MetricSpec,
@@ -39,14 +39,19 @@ __all__ = ["Guarantee", "PerformanceAnalyzer"]
 class Guarantee:
     """One verified performance figure with its provenance.
 
-    Unlike a simulation estimate, the value carries no sampling error:
-    it is exact for the model up to linear-algebra round-off, which is
-    what the paper means by a statistical *guarantee*.
+    Exact checks carry no sampling error: the value is exact for the
+    model up to linear-algebra round-off, which is what the paper means
+    by a statistical *guarantee*.  Statistical checks
+    (:meth:`PerformanceAnalyzer.check_statistical`) instead carry an
+    explicit ``(epsilon, delta)``-style guarantee; they are marked by a
+    nonzero ``samples`` count.
 
     ``backend`` and ``cache_hits`` record how the number was obtained:
-    the engine's solver method and how many cached results
-    (factorizations, Prob0/Prob1 sets, long-run structure) this check
-    reused instead of recomputing.
+    the engine's solver method (or ``"apmc"``/``"sprt"`` for
+    statistical runs), how many cached results (factorizations,
+    Prob0/Prob1 sets, alias tables, long-run structure) this check
+    reused instead of recomputing, and — for statistical runs — how
+    many sampled paths ``samples`` the verdict consumed.
     """
 
     metric: str
@@ -57,13 +62,20 @@ class Guarantee:
     check_seconds: float
     backend: str = "lu"
     cache_hits: int = 0
+    samples: int = 0
+
+    @property
+    def is_exact(self) -> bool:
+        """Exhaustive result (no sampled paths involved)?"""
+        return self.samples == 0
 
     def __str__(self) -> str:
+        sampled = "" if self.is_exact else f", {self.samples} samples"
         return (
             f"{self.metric} = {self.value:.6g}   "
             f"[{self.property_string}; {self.model_states} states,"
             f" {self.check_seconds:.2f}s; {self.backend}"
-            f" engine, {self.cache_hits} cache hits]"
+            f" engine, {self.cache_hits} cache hits{sampled}]"
         )
 
 
@@ -191,6 +203,72 @@ class PerformanceAnalyzer:
         how many cached results it reused.
         """
         return [self.check(metric) for metric in metrics]
+
+    def check_statistical(
+        self,
+        metric: Union[MetricSpec, str],
+        *,
+        theta: Optional[float] = None,
+        smc: Optional[SmcConfig] = None,
+    ) -> Guarantee:
+        """Check a bounded path metric statistically instead of exactly.
+
+        Routes through the batched SMC layer with this analyzer's
+        engine, so the chain's alias tables are built once and shared
+        with later statistical checks.  Without ``theta`` the APMC
+        estimator runs (``value`` is the estimate, guaranteed within
+        ``smc.epsilon`` with confidence ``1 - smc.delta``); with
+        ``theta`` the SPRT decides ``P >= theta`` (``value`` is 1.0 on
+        accept, 0.0 on reject).  Either way the returned
+        :class:`Guarantee` records the backend and the sampled paths
+        drawn as provenance.
+        """
+        from ..smc import smc_decide, smc_estimate
+
+        if isinstance(metric, MetricSpec):
+            name, prop = metric.name, metric.property_string
+        else:
+            name, prop = "pCTL", str(metric)
+        config = SmcConfig.coerce(smc)
+        hits_before = self.engine.stats.cache_hits
+        start = time.perf_counter()
+        if theta is None:
+            result = smc_estimate(
+                self.chain,
+                prop,
+                epsilon=config.epsilon,
+                delta=config.delta,
+                seed=config.seed,
+                batch=config.batch,
+                engine=self.engine,
+            )
+            backend, value = "apmc", float(result.estimate)
+        else:
+            result = smc_decide(
+                self.chain,
+                prop,
+                theta=theta,
+                half_width=config.half_width,
+                alpha=config.alpha,
+                beta=config.beta,
+                seed=config.seed,
+                engine=self.engine,
+            )
+            backend, value = "sprt", float(result.accept)
+        elapsed = time.perf_counter() - start
+        guarantee = Guarantee(
+            metric=name,
+            property_string=prop,
+            value=value,
+            model_states=self.chain.num_states,
+            model_transitions=self.chain.num_transitions,
+            check_seconds=elapsed,
+            backend=backend,
+            cache_hits=self.engine.stats.cache_hits - hits_before,
+            samples=result.samples,
+        )
+        self.history.append(guarantee)
+        return guarantee
 
     def best_case(self, horizon: int, flag: str = "flag") -> Guarantee:
         """P1 at the given horizon."""

@@ -6,74 +6,296 @@ to the bounded-property evaluators in :mod:`repro.smc.bridge`, and the
 sampler doubles as a general-purpose trace generator for debugging
 models.
 
-Sampling uses inverse-CDF lookups on precomputed cumulative rows, so
-drawing many paths from one chain is cheap.
+Sampling uses Walker's alias method: one table per transition-matrix
+row, built once per chain, turns every step of every walker into O(1)
+work from a single uniform draw.  :meth:`PathSampler.advance` steps an
+arbitrary batch of walkers with one fancy-indexed numpy operation, and
+:meth:`PathSampler.paths` draws whole path matrices without a Python
+loop over time steps per path.
+
+The batched methods are *stream-compatible* with the scalar ones: each
+walker consumes a fixed number of uniforms (one per transition, plus
+one for the initial state), drawn row-major, so ``paths(n, k)`` yields
+exactly the ``n`` paths that ``n`` sequential :meth:`PathSampler.path`
+calls on the same generator would.  The SMC layer relies on this to
+keep chunked runs bit-identical to scalar ones.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
 from .chain import DTMC
 
-__all__ = ["PathSampler", "sample_path"]
+__all__ = ["PathSampler", "sample_path", "build_alias_table"]
+
+#: Sampling backends: ``"alias"`` (Walker tables, supports the batched
+#: API) and ``"search"`` (the historical per-step binary search on
+#: cumulative rows, kept as a scalar baseline for cross-checks and
+#: benchmarks).
+SAMPLER_METHODS = ("alias", "search")
+
+
+def build_alias_table(probs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Walker/Vose alias table for one discrete distribution.
+
+    Returns ``(prob, alias)`` arrays of ``len(probs)``: outcome ``j``
+    is drawn from a uniform ``u`` in ``[0, 1)`` as ``j = floor(u * n)``
+    kept with probability ``prob[j]`` (using the fractional part of
+    ``u * n`` as the second uniform) and replaced by ``alias[j]``
+    otherwise.
+    """
+    p = np.asarray(probs, dtype=np.float64)
+    n = p.size
+    if n == 0 or not np.all(p >= 0.0) or p.sum() <= 0.0:
+        raise ValueError("alias table needs a nonempty nonnegative distribution")
+    scaled = p * (n / p.sum())
+    prob = np.ones(n, dtype=np.float64)
+    alias = np.arange(n, dtype=np.int64)
+    small = [i for i in range(n) if scaled[i] < 1.0]
+    large = [i for i in range(n) if scaled[i] >= 1.0]
+    while small and large:
+        s = small.pop()
+        l = large.pop()
+        prob[s] = scaled[s]
+        alias[s] = l
+        scaled[l] -= 1.0 - scaled[s]
+        (small if scaled[l] < 1.0 else large).append(l)
+    # Leftovers (numerical stragglers) keep prob = 1: always themselves.
+    return prob, alias
+
+
+def _alias_pick(
+    prob: np.ndarray, alias: np.ndarray, u: np.ndarray, offset=0, size=None
+) -> np.ndarray:
+    """Vectorized alias draw with per-element table windows.
+
+    ``offset``/``size`` select each element's table slice inside the
+    flattened per-row arrays (scalars broadcast, so a single shared
+    table works too).
+    """
+    n = size if size is not None else prob.shape[0]
+    x = u * n
+    j = x.astype(np.int64)
+    np.minimum(j, n - 1, out=j)  # guard the u*n == n rounding edge
+    frac = x - j
+    k = offset + j
+    return np.where(frac < prob[k], j, alias[k])
+
+
+def _alias_pick_scalar(
+    prob: np.ndarray, alias: np.ndarray, u: float, offset: int, size: int
+) -> int:
+    """Scalar twin of :func:`_alias_pick` — identical arithmetic (same
+    IEEE operations in the same order), no array round-trips."""
+    x = u * size
+    j = int(x)
+    if j > size - 1:
+        j = size - 1
+    if x - j < prob[offset + j]:
+        return j
+    return int(alias[offset + j])
 
 
 class PathSampler:
     """Draws state-index paths from a chain.
 
-    Precomputes per-row cumulative distributions once; each step of
-    each path is then a binary search.
+    Precomputes a Walker alias table per transition-matrix row (and one
+    for the initial distribution); each step of each walker is then one
+    uniform draw and one table lookup, with :meth:`advance` doing a
+    whole batch of walkers per numpy call.
+
+    Parameters
+    ----------
+    chain:
+        The DTMC to sample.
+    rng:
+        Default generator for the convenience methods; every sampling
+        method also accepts an explicit ``rng`` so one sampler can be
+        shared across threads without mutable-state races.
+    method:
+        ``"alias"`` (default) or ``"search"`` — see
+        :data:`SAMPLER_METHODS`.  Only ``"alias"`` supports the batched
+        :meth:`advance`/:meth:`paths` fast path.
     """
 
-    def __init__(self, chain: DTMC, rng: Optional[np.random.Generator] = None) -> None:
+    def __init__(
+        self,
+        chain: DTMC,
+        rng: Optional[np.random.Generator] = None,
+        method: str = "alias",
+    ) -> None:
+        if method not in SAMPLER_METHODS:
+            raise ValueError(
+                f"unknown sampling method {method!r};"
+                f" choose from {', '.join(SAMPLER_METHODS)}"
+            )
         self.chain = chain
+        self.method = method
         self.rng = rng if rng is not None else np.random.default_rng()
         matrix = chain.transition_matrix
-        self._indptr = matrix.indptr
-        self._indices = matrix.indices
-        self._cumulative = np.copy(matrix.data)
-        for state in range(chain.num_states):
-            start, end = self._indptr[state], self._indptr[state + 1]
-            self._cumulative[start:end] = np.cumsum(self._cumulative[start:end])
+        self._indptr = matrix.indptr.astype(np.int64)
+        self._indices = matrix.indices.astype(np.int64)
+        self._row_size = np.diff(self._indptr)
+        if np.any(self._row_size == 0):
+            empty = int(np.argmax(self._row_size == 0))
+            raise ValueError(f"state {empty} has no outgoing transitions")
+        # Only the selected method's structure is built: flattened
+        # per-row alias tables (indexed like the CSR data), or the
+        # cumulative rows of the binary-search baseline.
+        data = matrix.data
         init = chain.initial_distribution
         self._init_states = np.nonzero(init)[0]
-        self._init_cumulative = np.cumsum(init[self._init_states])
+        if method == "alias":
+            self._alias_prob = np.empty_like(data)
+            self._alias_idx = np.empty(data.shape[0], dtype=np.int64)
+            for state in range(chain.num_states):
+                start, end = self._indptr[state], self._indptr[state + 1]
+                prob, alias = build_alias_table(data[start:end])
+                self._alias_prob[start:end] = prob
+                self._alias_idx[start:end] = alias
+            self._init_prob, self._init_alias = build_alias_table(
+                init[self._init_states]
+            )
+        else:
+            self._cumulative = np.copy(data)
+            for state in range(chain.num_states):
+                start, end = self._indptr[state], self._indptr[state + 1]
+                self._cumulative[start:end] = np.cumsum(
+                    self._cumulative[start:end]
+                )
+            self._init_cumulative = np.cumsum(init[self._init_states])
 
-    def sample_initial(self) -> int:
+    def _rng(self, rng: Optional[np.random.Generator]) -> np.random.Generator:
+        return self.rng if rng is None else rng
+
+    # ------------------------------------------------------------------
+    # Scalar API (kept stream-compatible with the batched one)
+    # ------------------------------------------------------------------
+    def sample_initial(self, rng: Optional[np.random.Generator] = None) -> int:
         """Draw a start state from the initial distribution."""
-        u = self.rng.random() * self._init_cumulative[-1]
-        k = int(np.searchsorted(self._init_cumulative, u, side="right"))
-        k = min(k, len(self._init_states) - 1)
-        return int(self._init_states[k])
+        u = self._rng(rng).random()
+        if self.method == "search":
+            u *= self._init_cumulative[-1]
+            k = int(np.searchsorted(self._init_cumulative, u, side="right"))
+            k = min(k, len(self._init_states) - 1)
+            return int(self._init_states[k])
+        pick = _alias_pick_scalar(
+            self._init_prob, self._init_alias, u, 0, self._init_prob.shape[0]
+        )
+        return int(self._init_states[pick])
 
-    def step(self, state: int) -> int:
-        """Draw one successor of ``state``."""
-        start, end = self._indptr[state], self._indptr[state + 1]
-        if start == end:
-            raise ValueError(f"state {state} has no outgoing transitions")
-        u = self.rng.random() * self._cumulative[end - 1]
-        k = int(np.searchsorted(self._cumulative[start:end], u, side="right"))
-        k = min(k, end - start - 1)
-        return int(self._indices[start + k])
+    def step(self, state: int, rng: Optional[np.random.Generator] = None) -> int:
+        """Draw one successor of ``state`` (one uniform consumed)."""
+        u = self._rng(rng).random()
+        start = int(self._indptr[state])
+        if self.method == "search":
+            end = int(self._indptr[state + 1])
+            u *= self._cumulative[end - 1]
+            k = int(np.searchsorted(self._cumulative[start:end], u, side="right"))
+            k = min(k, end - start - 1)
+            return int(self._indices[start + k])
+        local = _alias_pick_scalar(
+            self._alias_prob, self._alias_idx, u, start, int(self._row_size[state])
+        )
+        return int(self._indices[start + local])
 
-    def path(self, length: int, start: Optional[int] = None) -> np.ndarray:
+    def path(
+        self,
+        length: int,
+        start: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
         """A path of ``length`` transitions: ``length + 1`` state indices."""
-        state = self.sample_initial() if start is None else int(start)
+        rng = self._rng(rng)
+        state = self.sample_initial(rng) if start is None else int(start)
         out = np.empty(length + 1, dtype=np.int64)
         out[0] = state
         for t in range(1, length + 1):
-            state = self.step(state)
+            state = self.step(state, rng)
             out[t] = state
         return out
 
-    def paths(self, count: int, length: int) -> np.ndarray:
-        """``count`` independent paths, shape ``(count, length + 1)``."""
+    # ------------------------------------------------------------------
+    # Batched API
+    # ------------------------------------------------------------------
+    def sample_initials_from(self, u: np.ndarray) -> np.ndarray:
+        """Map pre-drawn uniforms to initial states via the alias table."""
+        picks = _alias_pick(self._init_prob, self._init_alias, np.asarray(u))
+        return self._init_states[picks]
+
+    def sample_initials(
+        self, count: int, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """``count`` initial states in one vectorized draw."""
+        return self.sample_initials_from(self._rng(rng).random(count))
+
+    def advance(self, states: np.ndarray, u: np.ndarray) -> np.ndarray:
+        """Step every walker once: ``states[i] -> successor`` using the
+        pre-drawn uniform ``u[i]``.
+
+        One fancy-indexed numpy operation for the whole batch — the
+        kernel the fused SMC trials and :meth:`paths` are built on.
+        """
+        if self.method != "alias":
+            raise ValueError(
+                "batched advance needs the alias sampler; this one uses"
+                f" method={self.method!r}"
+            )
+        states = np.asarray(states, dtype=np.int64)
+        start = self._indptr[states]
+        local = _alias_pick(
+            self._alias_prob,
+            self._alias_idx,
+            np.asarray(u),
+            offset=start,
+            size=self._row_size[states],
+        )
+        return self._indices[start + local]
+
+    def steps(
+        self, states: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """:meth:`advance` with freshly drawn uniforms."""
+        states = np.asarray(states, dtype=np.int64)
+        return self.advance(states, self._rng(rng).random(states.shape[0]))
+
+    def paths(
+        self,
+        count: int,
+        length: int,
+        rng: Optional[np.random.Generator] = None,
+        starts: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """``count`` independent paths, shape ``(count, length + 1)``.
+
+        Walks all paths together, one :meth:`advance` per time step.
+        Uniforms are drawn as a row-major ``(count, draws)`` block, so
+        row ``i`` reproduces the ``i``-th sequential :meth:`path` call
+        on the same generator.
+        """
+        rng = self._rng(rng)
         out = np.empty((count, length + 1), dtype=np.int64)
-        for i in range(count):
-            out[i] = self.path(length)
+        if self.method == "search":
+            for i in range(count):
+                start = None if starts is None else int(starts[i])
+                out[i] = self.path(length, start=start, rng=rng)
+            return out
+        draws = length if starts is not None else length + 1
+        uniforms = rng.random((count, draws))
+        if starts is None:
+            states = self.sample_initials_from(uniforms[:, 0])
+            column = 1
+        else:
+            states = np.asarray(starts, dtype=np.int64)
+            column = 0
+        out[:, 0] = states
+        for t in range(1, length + 1):
+            states = self.advance(states, uniforms[:, column])
+            out[:, t] = states
+            column += 1
         return out
 
 

@@ -13,19 +13,29 @@ design points (SNR, traceback length, quantizer levels) spread across
 ``concurrent.futures`` workers.
 """
 
-from .config import ITERATIVE_METHODS, SOLVER_METHODS, SolverConfig
+from .config import ITERATIVE_METHODS, SOLVER_METHODS, SmcConfig, SolverConfig
 from .core import Engine, EngineStats, default_engine
-from .sweep import SweepResult, grid, sweep, sweep_values
+from .sweep import (
+    CHECK_BACKENDS,
+    SweepResult,
+    grid,
+    sweep,
+    sweep_check,
+    sweep_values,
+)
 
 __all__ = [
     "ITERATIVE_METHODS",
     "SOLVER_METHODS",
+    "SmcConfig",
     "SolverConfig",
     "Engine",
     "EngineStats",
     "default_engine",
+    "CHECK_BACKENDS",
     "SweepResult",
     "grid",
     "sweep",
+    "sweep_check",
     "sweep_values",
 ]

@@ -21,11 +21,11 @@ family.  The five methods mirror PRISM's engine choices:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Union
+from typing import Optional, Union
 
 from ..dtmc.linear import ITERATIVE_METHODS
 
-__all__ = ["SolverConfig", "SOLVER_METHODS", "ITERATIVE_METHODS"]
+__all__ = ["SolverConfig", "SmcConfig", "SOLVER_METHODS", "ITERATIVE_METHODS"]
 
 #: Every selectable backend, in documentation order: the direct family
 #: plus the fixpoint-iteration family defined by :mod:`repro.dtmc.linear`.
@@ -95,3 +95,37 @@ class SolverConfig:
         if isinstance(config, str):
             return cls(method=config)
         return config
+
+
+@dataclass(frozen=True)
+class SmcConfig:
+    """Accuracy knobs of the statistical checking backends.
+
+    The statistical counterpart of :class:`SolverConfig`: where the
+    exact backends trade speed for memory, the statistical ones trade
+    wall-clock for guarantee tightness.  ``epsilon``/``delta`` drive
+    the APMC (Hoeffding) estimator; ``half_width``/``alpha``/``beta``
+    drive the SPRT once a threshold ``theta`` is supplied; ``batch``
+    caps per-chunk memory of the fused batched trials.
+    """
+
+    epsilon: float = 0.01
+    delta: float = 0.05
+    half_width: float = 0.01
+    alpha: float = 0.01
+    beta: float = 0.01
+    batch: int = 4096
+    seed: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        for name in ("epsilon", "delta", "half_width", "alpha", "beta"):
+            value = getattr(self, name)
+            if not 0.0 < value < 1.0:
+                raise ValueError(f"{name} must be in (0,1), got {value}")
+        if self.batch < 1:
+            raise ValueError(f"batch must be >= 1, got {self.batch}")
+
+    @classmethod
+    def coerce(cls, config: Optional["SmcConfig"]) -> "SmcConfig":
+        """Accept a config or ``None`` (defaults)."""
+        return cls() if config is None else config

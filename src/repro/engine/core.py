@@ -36,6 +36,7 @@ from ..dtmc import steady_state as _steady
 from ..dtmc.chain import DTMC
 from ..dtmc.graph import bottom_sccs, constrained_backward_reachable
 from ..dtmc.linear import gauss_seidel_solve, jacobi_solve, power_solve
+from ..dtmc.simulate import PathSampler
 from ..dtmc.sparse_utils import as_csr
 from .config import SolverConfig
 
@@ -58,6 +59,8 @@ class EngineStats:
     stationary_cache_hits: int = 0
     long_run_computations: int = 0
     long_run_cache_hits: int = 0
+    sampler_builds: int = 0
+    sampler_cache_hits: int = 0
     matvecs: int = 0
 
     @property
@@ -70,6 +73,7 @@ class EngineStats:
             + self.bscc_cache_hits
             + self.stationary_cache_hits
             + self.long_run_cache_hits
+            + self.sampler_cache_hits
         )
 
     def snapshot(self) -> Dict[str, int]:
@@ -96,6 +100,7 @@ class _ChainCache:
     bsccs: Optional[List[List[int]]] = None
     stationary: Optional[np.ndarray] = None
     long_run: Optional[np.ndarray] = None
+    sampler: Optional[PathSampler] = None
 
 
 def _bits(vector: np.ndarray) -> bytes:
@@ -330,6 +335,24 @@ class Engine:
         else:
             self.stats.stationary_cache_hits += 1
         return cache.stationary
+
+    def path_sampler(self, chain: DTMC) -> PathSampler:
+        """Memoized :class:`~repro.dtmc.simulate.PathSampler`.
+
+        The sampler's Walker alias tables are built once per chain and
+        cached alongside the LU/Prob0-Prob1 structure, so statistical
+        checks of many properties (or many SMC runs in a sweep) share
+        one table build.  The cached sampler is stateless with respect
+        to randomness when callers pass explicit generators, as the
+        SMC layer does — safe under the sweep runner's threads.
+        """
+        cache = self._cache(chain)
+        if cache.sampler is None:
+            cache.sampler = PathSampler(chain)
+            self.stats.sampler_builds += 1
+        else:
+            self.stats.sampler_cache_hits += 1
+        return cache.sampler
 
     def long_run_distribution(self, chain: DTMC) -> np.ndarray:
         """Memoized long-run (limiting average) distribution."""

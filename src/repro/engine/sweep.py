@@ -17,10 +17,18 @@ timed, error-capturing results:
 most time in scipy, which releases the GIL), ``"process"`` (full
 isolation; the sweep function must be picklable), or ``"serial"``
 (in-process, deterministic, used by the tests and for debugging).
+
+:func:`sweep_check` is the property-checking specialization: one pCTL
+formula evaluated across a grid of models with a selectable checking
+backend — ``"exact"`` (the solver engine) or the statistical
+``"apmc"``/``"sprt"`` backends, which trade exactness for throughput
+on large scenario grids via the fused batched trials of
+:mod:`repro.smc`.
 """
 
 from __future__ import annotations
 
+import functools
 import itertools
 import os
 import time
@@ -28,9 +36,24 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
-__all__ = ["SweepResult", "grid", "sweep", "sweep_values"]
+import numpy as np
+
+from .config import SmcConfig
+
+__all__ = [
+    "SweepResult",
+    "grid",
+    "sweep",
+    "sweep_values",
+    "sweep_check",
+    "CHECK_BACKENDS",
+]
 
 _EXECUTORS = ("serial", "thread", "process")
+
+#: Checking backends of :func:`sweep_check`: the exact solver engine,
+#: the Hoeffding estimator, and the sequential probability ratio test.
+CHECK_BACKENDS = ("exact", "apmc", "sprt")
 
 
 @dataclass
@@ -125,6 +148,118 @@ def sweep(
                 raise RuntimeError(
                     f"sweep point {result.point!r} failed: {result.error}"
                 )
+    return results
+
+
+def _check_point(
+    entry,
+    *,
+    build,
+    formula,
+    backend,
+    theta,
+    config,
+    solver,
+    seeds,
+) -> Any:
+    """One :func:`sweep_check` point; module-level for picklability."""
+    # Imported lazily: repro.smc/pctl import the engine package.
+    from ..pctl import check as exact_check
+    from ..smc import smc_decide, smc_estimate
+
+    index, point = entry
+    chain = build(point)
+    if backend == "exact":
+        return exact_check(chain, formula, config=solver).value
+    if backend == "apmc":
+        return smc_estimate(
+            chain,
+            formula,
+            epsilon=config.epsilon,
+            delta=config.delta,
+            seed=seeds[index],
+            batch=config.batch,
+        )
+    return smc_decide(
+        chain,
+        formula,
+        theta=theta,
+        half_width=config.half_width,
+        alpha=config.alpha,
+        beta=config.beta,
+        seed=seeds[index],
+    )
+
+
+def sweep_check(
+    build: Callable[[Any], Any],
+    points: Sequence[Any],
+    formula: str,
+    *,
+    backend: str = "exact",
+    theta: Optional[float] = None,
+    smc: Optional[SmcConfig] = None,
+    solver=None,
+    executor: str = "thread",
+    max_workers: Optional[int] = None,
+    on_error: str = "capture",
+) -> List[SweepResult]:
+    """Check one pCTL ``formula`` across a grid of models.
+
+    ``build(point)`` constructs the DTMC of one scenario point; the
+    chosen ``backend`` then checks ``formula`` against it:
+
+    ``"exact"``
+        :func:`repro.pctl.check` through the solver engine (``solver``
+        selects the numerical backend).  ``value`` is the checked
+        number.
+    ``"apmc"``
+        Batched :func:`repro.smc.smc_estimate` with the ``smc``
+        config's ``epsilon``/``delta``.  ``value`` is an
+        :class:`~repro.smc.ApmcResult` — estimate plus guarantee and
+        the samples drawn.
+    ``"sprt"``
+        Batched :func:`repro.smc.smc_decide` of ``P >= theta``
+        (``theta`` is required).  ``value`` is an
+        :class:`~repro.smc.SprtResult`.
+
+    Statistical points draw from independent, deterministic seed
+    streams spawned from ``smc.seed``, so results are reproducible and
+    executor-independent.  Only bounded path formulas are supported by
+    the statistical backends — exactly the trade the paper discusses:
+    scenario grids can swap exhaustive guarantees for sampled ones with
+    explicit (epsilon, delta) error bounds when throughput matters.
+    """
+    if backend not in CHECK_BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from {', '.join(CHECK_BACKENDS)}"
+        )
+    if backend == "sprt" and theta is None:
+        raise ValueError("backend='sprt' needs a threshold theta")
+    points = list(points)
+    config = SmcConfig.coerce(smc)
+    seeds = np.random.SeedSequence(config.seed).spawn(len(points))
+    # partial over a module-level runner (not a closure) so
+    # executor="process" can pickle the sweep function.
+    run = functools.partial(
+        _check_point,
+        build=build,
+        formula=formula,
+        backend=backend,
+        theta=theta,
+        config=config,
+        solver=solver,
+        seeds=seeds,
+    )
+    results = sweep(
+        run,
+        list(enumerate(points)),
+        executor=executor,
+        max_workers=max_workers,
+        on_error=on_error,
+    )
+    for result in results:  # unwrap the (index, point) plumbing
+        result.point = result.point[1]
     return results
 
 

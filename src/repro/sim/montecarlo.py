@@ -80,15 +80,27 @@ def simulate_viterbi_convergence(
     noisy = clean + rng.normal(0.0, config.sigma, num_steps)
     q_indices = quantizer.quantize_index(noisy)
 
+    # The ACS step is a pure function of (normalized path metrics,
+    # received index), and both live in small finite domains — at most
+    # (pm_max + 1)^num_states x num_levels distinct inputs.  Memoizing
+    # it (on top of the trellis's precomputed branch-metric table)
+    # turns the per-cycle work of this 100k-iteration loop into one
+    # dict lookup after the first few cycles.
+    acs_cache = {}
     metrics = trellis.initial_metrics()
     count = 0
     hits = 0
-    for q in q_indices:
-        acs = trellis.acs(metrics, int(q))
-        metrics = acs.path_metrics
-        count = 0 if acs.is_convergent() else min(count + 1, length)
-        hits += int(count >= length)
-    return BerEstimate(hits, num_steps, confidence)
+    for q in q_indices.tolist():
+        key = (metrics, q)
+        step = acs_cache.get(key)
+        if step is None:
+            acs = trellis.acs(metrics, q)
+            step = (acs.path_metrics, acs.is_convergent())
+            acs_cache[key] = step
+        metrics, convergent = step
+        count = 0 if convergent else min(count + 1, length)
+        hits += count >= length
+    return BerEstimate(int(hits), num_steps, confidence)
 
 
 def simulate_detector_ber(

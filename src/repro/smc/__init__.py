@@ -3,13 +3,30 @@
 Approximate probabilistic model checking (Chernoff-Hoeffding bounds)
 and Wald's SPRT for qualitative thresholds — the middle ground between
 the paper's exhaustive verification and plain Monte-Carlo estimation.
+
+Both algorithms consume Bernoulli trials in either the scalar
+``trial(rng) -> bool`` or the batched ``trials(rng, n) -> bool array``
+convention (:mod:`repro.smc.trials`); :func:`make_batch_trial`
+compiles a bounded pCTL path property to the fused, vectorized form
+that makes APMC/SPRT runs orders of magnitude faster than per-path
+sampling.
 """
 
-from .bridge import make_path_trial, path_satisfies, smc_decide, smc_estimate
+from .bridge import (
+    BatchTrial,
+    make_batch_trial,
+    make_path_trial,
+    path_satisfies,
+    smc_decide,
+    smc_estimate,
+)
 from .hoeffding import ApmcResult, approximate_probability, hoeffding_sample_size
 from .sprt import SprtResult, sprt_decide
+from .trials import as_batch_trial, is_batch_trial
 
 __all__ = [
+    "BatchTrial",
+    "make_batch_trial",
     "make_path_trial",
     "path_satisfies",
     "smc_decide",
@@ -19,4 +36,6 @@ __all__ = [
     "hoeffding_sample_size",
     "SprtResult",
     "sprt_decide",
+    "as_batch_trial",
+    "is_batch_trial",
 ]

@@ -9,6 +9,17 @@ This is the Younes/Hérault-style methodology the paper's related work
 ([13]) applies to analog circuits — implemented here so the exact and
 the statistical verdicts can be compared on the same models (the test
 suite does exactly that).
+
+Two trial compilers are provided.  :func:`make_path_trial` is the
+scalar form: one sampled path per call, evaluated after the fact by
+:func:`path_satisfies`.  :func:`make_batch_trial` compiles the same
+formula into a :class:`BatchTrial` that *fuses* property evaluation
+into a vectorized walk: all walkers advance together one time step per
+numpy call, each walker retires as soon as its verdict is decided, and
+the walk stops early once every walker is decided — without ever
+materializing a ``(count, bound + 1)`` path matrix.  Both compilers
+map walker ``i``'s randomness to the same generator draws, so batched
+outcome sequences are bit-identical to scalar ones for the same seed.
 """
 
 from __future__ import annotations
@@ -18,6 +29,7 @@ from typing import Callable, Optional, Union
 import numpy as np
 
 from ..dtmc.chain import DTMC
+from ..dtmc.graph import constrained_backward_reachable
 from ..dtmc.simulate import PathSampler
 from ..pctl.ast import Eventually, Globally, Next, ProbQuery, Until, WeakUntil
 from ..pctl.checker import ModelChecker, PctlSemanticsError
@@ -25,7 +37,14 @@ from ..pctl.parser import parse_formula
 from .hoeffding import ApmcResult, approximate_probability
 from .sprt import SprtResult, sprt_decide
 
-__all__ = ["path_satisfies", "make_path_trial", "smc_estimate", "smc_decide"]
+__all__ = [
+    "path_satisfies",
+    "make_path_trial",
+    "BatchTrial",
+    "make_batch_trial",
+    "smc_estimate",
+    "smc_decide",
+]
 
 
 def _bounded_path_parts(chain: DTMC, formula: Union[str, ProbQuery]):
@@ -90,26 +109,207 @@ def path_satisfies(
     return kind == "weak"
 
 
+def _resolve_sampler(
+    chain: DTMC, sampler: Optional[PathSampler], engine=None
+) -> PathSampler:
+    """Pick the sampler: explicit > engine-cached alias tables > fresh."""
+    if sampler is not None:
+        return sampler
+    if engine is not None:
+        return engine.path_sampler(chain)
+    return PathSampler(chain)
+
+
+def _make_trial(
+    chain: DTMC,
+    formula: Union[str, ProbQuery],
+    batched: bool,
+    sampler: Optional[PathSampler],
+    engine,
+):
+    """The trial both SMC entry points hand to their algorithm."""
+    if batched:
+        return make_batch_trial(chain, formula, sampler=sampler, engine=engine)
+    return make_path_trial(
+        chain, formula, sampler=_resolve_sampler(chain, sampler, engine)
+    )
+
+
 def make_path_trial(
     chain: DTMC,
     formula: Union[str, ProbQuery],
     sampler: Optional[PathSampler] = None,
 ) -> Callable[[np.random.Generator], bool]:
-    """Compile a bounded path property into a Bernoulli trial function.
+    """Compile a bounded path property into a scalar Bernoulli trial.
 
     The returned callable draws one path prefix and reports whether it
-    satisfies the property — the sampling primitive both SMC algorithms
-    consume.
+    satisfies the property.  The generator is threaded through the
+    call — shared samplers are never mutated, so one compiled trial is
+    safe under the sweep runner's thread executor.
     """
     kind, bound, left, right = _bounded_path_parts(chain, formula)
     shared = sampler if sampler is not None else PathSampler(chain)
 
     def trial(rng: np.random.Generator) -> bool:
-        shared.rng = rng
-        path = shared.path(bound)
+        path = shared.path(bound, rng=rng)
         return path_satisfies(kind, bound, left, right, path)
 
     return trial
+
+
+class BatchTrial:
+    """A bounded path property compiled to fused batched trials.
+
+    Calling ``trial(rng, count)`` samples ``count`` paths *and*
+    evaluates the property in one pass: a single ``(count, draws)``
+    uniform block is drawn up front (row ``i`` is walker ``i``'s
+    randomness, matching the scalar trial's draw order), then all
+    still-undecided walkers advance together one
+    :meth:`~repro.dtmc.simulate.PathSampler.advance` per time step.
+    Walkers retire as soon as the right-set is hit or the left-set is
+    violated, and the walk stops outright when none remain alive — on
+    chains with absorbing goal states this typically walks far fewer
+    than ``bound`` steps.
+
+    Attributes
+    ----------
+    draws_per_trial:
+        Uniforms consumed per trial (``bound + 1``), fixed so chunked
+        and scalar runs see identical outcome sequences per seed.
+    last_walk_steps:
+        Time steps actually walked by the most recent call — the
+        early-termination observable (``<= bound``).
+    """
+
+    is_batch = True
+
+    def __init__(
+        self,
+        chain: DTMC,
+        formula: Union[str, ProbQuery],
+        sampler: Optional[PathSampler] = None,
+        engine=None,
+    ) -> None:
+        kind, bound, left, right = _bounded_path_parts(chain, formula)
+        self.chain = chain
+        self.kind = kind
+        self.bound = int(bound)
+        self.left = left
+        self.right = right
+        self.sampler = _resolve_sampler(chain, sampler, engine)
+        self.draws_per_trial = self.bound + 1
+        self.last_walk_steps = 0
+        self.trials_drawn = 0
+        # Retirement sets beyond the formula's own left/right masks:
+        # walkers whose verdict can no longer change stop walking.
+        n = chain.num_states
+        absorbing = chain.transition_matrix.diagonal() >= 1.0 - 1e-12
+        if kind == "until":
+            # States that cannot reach `right` along `left` paths fail
+            # every (bounded or not) until — Prob0-style retirement.
+            reach = constrained_backward_reachable(
+                chain, np.nonzero(right)[0], left & ~right
+            )
+            dead = np.ones(n, dtype=bool)
+            dead[list(reach)] = False
+            self._retire_fail = dead
+            self._retire_pass = np.zeros(n, dtype=bool)
+        elif kind == "weak":
+            self._retire_fail = np.zeros(n, dtype=bool)
+            self._retire_pass = absorbing & left & ~right
+        elif kind == "globally":
+            self._retire_fail = np.zeros(n, dtype=bool)
+            self._retire_pass = absorbing & left
+        else:  # next: single step, nothing to retire
+            self._retire_fail = self._retire_pass = np.zeros(n, dtype=bool)
+
+    def __call__(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        uniforms = rng.random((count, self.draws_per_trial))
+        sampler = self.sampler
+        states = sampler.sample_initials_from(uniforms[:, 0])
+        self.trials_drawn += count
+        if self.kind == "next":
+            self.last_walk_steps = 1
+            return self.right[sampler.advance(states, uniforms[:, 1])]
+
+        outcome = np.zeros(count, dtype=bool)
+        if self.kind == "globally":
+            holds = self.left[states]
+            frozen = holds & self._retire_pass[states]
+            outcome[frozen] = True  # absorbed inside left: safe forever
+            walking = np.nonzero(holds & ~frozen)[0]
+            current = states[walking]
+            steps = 0
+            for t in range(1, self.bound + 1):
+                if walking.size == 0:
+                    break
+                steps = t
+                current = sampler.advance(current, uniforms[walking, t])
+                keep = self.left[current]
+                walking = walking[keep]
+                current = current[keep]
+                frozen = self._retire_pass[current]
+                if frozen.any():
+                    outcome[walking[frozen]] = True
+                    walking = walking[~frozen]
+                    current = current[~frozen]
+            outcome[walking] = True  # survived every step
+            self.last_walk_steps = steps
+            return outcome
+
+        # until / weak until: retire on right-hit (success),
+        # left-violation (failure), a Prob0 state (until can no longer
+        # succeed) or a safe absorbing state (weak can no longer fail);
+        # weak-until survivors succeed.
+        satisfied = self.right[states]
+        outcome[satisfied] = True
+        frozen = ~satisfied & self._retire_pass[states]
+        outcome[frozen] = True
+        undecided = (
+            ~satisfied
+            & ~frozen
+            & self.left[states]
+            & ~self._retire_fail[states]
+        )
+        walking = np.nonzero(undecided)[0]
+        current = states[walking]
+        steps = 0
+        for t in range(1, self.bound + 1):
+            if walking.size == 0:
+                break
+            steps = t
+            current = sampler.advance(current, uniforms[walking, t])
+            hit = self.right[current]
+            outcome[walking[hit]] = True
+            frozen = ~hit & self._retire_pass[current]
+            if frozen.any():
+                outcome[walking[frozen]] = True
+            keep = (
+                ~hit
+                & ~frozen
+                & self.left[current]
+                & ~self._retire_fail[current]
+            )
+            walking = walking[keep]
+            current = current[keep]
+        if self.kind == "weak":
+            outcome[walking] = True
+        self.last_walk_steps = steps
+        return outcome
+
+
+def make_batch_trial(
+    chain: DTMC,
+    formula: Union[str, ProbQuery],
+    sampler: Optional[PathSampler] = None,
+    engine=None,
+) -> BatchTrial:
+    """Compile a bounded path property into a :class:`BatchTrial`.
+
+    Pass an :class:`~repro.engine.Engine` to reuse its per-chain cached
+    alias tables across properties and calls.
+    """
+    return BatchTrial(chain, formula, sampler=sampler, engine=engine)
 
 
 def smc_estimate(
@@ -118,14 +318,25 @@ def smc_estimate(
     epsilon: float = 0.01,
     delta: float = 0.05,
     seed: Optional[int] = 0,
+    *,
+    batched: bool = True,
+    batch: int = 4096,
+    sampler: Optional[PathSampler] = None,
+    engine=None,
 ) -> ApmcResult:
     """APMC estimate of a bounded path probability on ``chain``.
 
     ``P(|estimate - exact| > epsilon) < delta`` by Hoeffding's bound;
-    the exact value is what :func:`repro.pctl.check` returns.
+    the exact value is what :func:`repro.pctl.check` returns.  The
+    default ``batched=True`` routes through a fused
+    :class:`BatchTrial`; ``batched=False`` keeps the scalar per-path
+    baseline (same outcome sequence per seed, orders of magnitude
+    slower).
     """
-    trial = make_path_trial(chain, formula)
-    return approximate_probability(trial, epsilon=epsilon, delta=delta, seed=seed)
+    trial = _make_trial(chain, formula, batched, sampler, engine)
+    return approximate_probability(
+        trial, epsilon=epsilon, delta=delta, seed=seed, batch=batch
+    )
 
 
 def smc_decide(
@@ -136,9 +347,18 @@ def smc_decide(
     alpha: float = 0.01,
     beta: float = 0.01,
     seed: Optional[int] = 0,
+    *,
+    batched: bool = True,
+    sampler: Optional[PathSampler] = None,
+    engine=None,
 ) -> SprtResult:
-    """SPRT decision of ``P(path formula) >= theta`` on ``chain``."""
-    trial = make_path_trial(chain, formula)
+    """SPRT decision of ``P(path formula) >= theta`` on ``chain``.
+
+    With ``batched=True`` (default) the test draws geometrically
+    growing chunks of fused trials; the data-dependent stopping sample
+    is identical to the scalar run for the same seed.
+    """
+    trial = _make_trial(chain, formula, batched, sampler, engine)
     return sprt_decide(
         trial,
         theta=theta,

@@ -10,15 +10,24 @@ i.i.d. Bernoulli samples.  This gives simulation a *guarantee* — the
 statistical counterpart of the paper's exhaustive guarantees, included
 here because the paper positions itself against statistical model
 checking (its reference [13]).
+
+The estimator is batch-aware: trials following the batched
+``trials(rng, n) -> bool ndarray`` protocol (see
+:mod:`repro.smc.trials`) fill the Hoeffding quota in a few large
+vectorized chunks, while scalar ``trial(rng) -> bool`` callables keep
+working through an adapter with their historical one-draw-per-call
+generator consumption.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Optional, Union
 
 import numpy as np
+
+from .trials import BatchTrials, ScalarTrial, as_batch_trial
 
 __all__ = ["hoeffding_sample_size", "ApmcResult", "approximate_probability"]
 
@@ -50,7 +59,6 @@ class ApmcResult:
         )
 
     def __str__(self) -> str:
-        low, high = self.interval
         return (
             f"{self.estimate:.4g} +/- {self.epsilon} "
             f"(confidence {1 - self.delta:.2%}, {self.samples} samples)"
@@ -58,7 +66,7 @@ class ApmcResult:
 
 
 def approximate_probability(
-    trial: Callable[[np.random.Generator], bool],
+    trial: Union[ScalarTrial, BatchTrials],
     epsilon: float = 0.01,
     delta: float = 0.01,
     seed: Optional[int] = 0,
@@ -66,15 +74,25 @@ def approximate_probability(
 ) -> ApmcResult:
     """Estimate ``P(trial succeeds)`` with a Hoeffding guarantee.
 
-    ``trial`` receives a ``numpy`` generator and returns a boolean
-    outcome of one sampled path.
+    ``trial`` is either a scalar ``trial(rng) -> bool`` or a batched
+    ``trials(rng, n) -> bool ndarray``; the required sample count is
+    drawn in chunks of at most ``batch`` either way, so peak memory of
+    a batched trial stays bounded while a scalar one behaves exactly as
+    it always did.
     """
     needed = hoeffding_sample_size(epsilon, delta)
+    trials = as_batch_trial(trial)
     rng = np.random.default_rng(seed)
     successes = 0
     done = 0
     while done < needed:
         chunk = min(batch, needed - done)
-        successes += sum(1 for _ in range(chunk) if trial(rng))
+        outcomes = np.asarray(trials(rng, chunk), dtype=bool)
+        if outcomes.shape != (chunk,):
+            raise ValueError(
+                f"batched trial returned shape {outcomes.shape},"
+                f" expected ({chunk},)"
+            )
+        successes += int(np.count_nonzero(outcomes))
         done += chunk
     return ApmcResult(successes / needed, needed, epsilon, delta)

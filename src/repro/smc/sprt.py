@@ -9,17 +9,32 @@ additive-error estimator in :mod:`repro.smc.hoeffding`.
 The test uses an indifference region ``theta ± half_width``: inside it
 either answer is acceptable; outside it the error probabilities are
 bounded by ``alpha`` (false reject) and ``beta`` (false accept).
+
+Batched trials (the ``trials(rng, n) -> bool ndarray`` protocol of
+:mod:`repro.smc.trials`) are consumed in geometrically growing chunks;
+the cumulative log-likelihood ratio is scanned *inside* each chunk in
+the exact accumulation order of the sequential test, so early stopping
+is preserved and the data-dependent ``samples`` count is identical to
+what a scalar one-trial-at-a-time run of the same outcome sequence
+reports.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Optional, Union
 
 import numpy as np
 
+from .trials import BatchTrials, ScalarTrial, is_batch_trial
+
 __all__ = ["SprtResult", "sprt_decide"]
+
+#: Chunk schedule of the batched test: start small so clear-cut cases
+#: draw few samples, double up to a cap that bounds per-chunk memory.
+_CHUNK_START = 64
+_CHUNK_MAX = 8192
 
 
 @dataclass(frozen=True)
@@ -46,7 +61,7 @@ class SprtResult:
 
 
 def sprt_decide(
-    trial: Callable[[np.random.Generator], bool],
+    trial: Union[ScalarTrial, BatchTrials],
     theta: float,
     half_width: float = 0.01,
     alpha: float = 0.01,
@@ -58,7 +73,9 @@ def sprt_decide(
     ``H1: p <= theta - half_width``.
 
     Accepting H0 is reported as ``accept=True`` (the property holds
-    with probability at least ``theta``).
+    with probability at least ``theta``).  ``trial`` may be scalar or
+    batched (see :mod:`repro.smc.trials`); a batched trial runs the
+    chunked test described in the module docstring.
     """
     p0 = theta + half_width
     p1 = theta - half_width
@@ -73,15 +90,41 @@ def sprt_decide(
     inc_failure = math.log((1.0 - p1) / (1.0 - p0))
 
     rng = np.random.default_rng(seed)
-    llr = 0.0
-    samples = 0
-    while samples < max_samples:
-        samples += 1
-        llr += inc_success if trial(rng) else inc_failure
-        if llr >= log_a:
-            return SprtResult(False, samples, theta, half_width, alpha, beta)
-        if llr <= log_b:
-            return SprtResult(True, samples, theta, half_width, alpha, beta)
+
+    def result(accept: bool, samples: int) -> SprtResult:
+        return SprtResult(accept, samples, theta, half_width, alpha, beta)
+
+    if is_batch_trial(trial):
+        llr = 0.0
+        samples = 0
+        chunk = _CHUNK_START
+        while samples < max_samples:
+            chunk = min(chunk, max_samples - samples)
+            outcomes = np.asarray(trial(rng, chunk), dtype=bool)
+            increments = np.where(outcomes, inc_success, inc_failure)
+            # Prepending the carried LLR reproduces the sequential
+            # left-to-right float accumulation exactly, so threshold
+            # crossings land on the same sample as the scalar test.
+            cumulative = np.cumsum(np.concatenate(([llr], increments)))[1:]
+            crossed = (cumulative >= log_a) | (cumulative <= log_b)
+            if crossed.any():
+                first = int(np.argmax(crossed))
+                return result(
+                    bool(cumulative[first] <= log_b), samples + first + 1
+                )
+            llr = float(cumulative[-1])
+            samples += chunk
+            chunk = min(chunk * 2, _CHUNK_MAX)
+    else:
+        llr = 0.0
+        samples = 0
+        while samples < max_samples:
+            samples += 1
+            llr += inc_success if trial(rng) else inc_failure
+            if llr >= log_a:
+                return result(False, samples)
+            if llr <= log_b:
+                return result(True, samples)
     raise RuntimeError(
         f"SPRT did not terminate within {max_samples} samples; p is likely"
         " inside the indifference region - widen it or use APMC"

@@ -1,0 +1,72 @@
+"""Trial protocols shared by the SMC algorithms.
+
+Both SMC algorithms consume Bernoulli trials.  Two calling conventions
+are supported:
+
+* **scalar** — ``trial(rng) -> bool``: one sampled outcome per call
+  (the historical interface, and the natural one for ad-hoc lambdas);
+* **batched** — ``trials(rng, n) -> bool ndarray``: ``n`` outcomes in
+  one vectorized call (what :class:`repro.smc.bridge.BatchTrial`
+  provides — orders of magnitude faster for path properties).
+
+:func:`as_batch_trial` coerces either form to the batched one, so the
+algorithm implementations only ever see the batched protocol.  A
+wrapped scalar trial is called sequentially, which keeps its generator
+consumption — and therefore its outcome sequence for a given seed —
+identical to the pre-batching implementations.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, Union
+
+import numpy as np
+
+__all__ = ["BatchTrials", "ScalarTrial", "is_batch_trial", "as_batch_trial"]
+
+ScalarTrial = Callable[[np.random.Generator], bool]
+BatchTrials = Callable[[np.random.Generator, int], np.ndarray]
+
+
+def is_batch_trial(trial: Union[ScalarTrial, BatchTrials]) -> bool:
+    """Does ``trial`` follow the batched ``(rng, n)`` convention?
+
+    Objects may declare themselves with an ``is_batch`` attribute
+    (as :class:`repro.smc.bridge.BatchTrial` does); otherwise the call
+    signature decides: two or more required positional parameters means
+    batched.
+    """
+    declared = getattr(trial, "is_batch", None)
+    if declared is not None:
+        return bool(declared)
+    try:
+        signature = inspect.signature(trial)
+    except (TypeError, ValueError):
+        return False
+    required = [
+        p
+        for p in signature.parameters.values()
+        if p.default is inspect.Parameter.empty
+        and p.kind
+        in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        )
+    ]
+    return len(required) >= 2
+
+
+def as_batch_trial(trial: Union[ScalarTrial, BatchTrials]) -> BatchTrials:
+    """Coerce a trial of either convention to the batched protocol."""
+    if is_batch_trial(trial):
+        return trial
+
+    def batched(rng: np.random.Generator, count: int) -> np.ndarray:
+        return np.fromiter(
+            (bool(trial(rng)) for _ in range(count)), dtype=bool, count=count
+        )
+
+    batched.is_batch = True
+    batched.__wrapped__ = trial
+    return batched

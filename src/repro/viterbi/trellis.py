@@ -98,6 +98,22 @@ class Trellis:
                     quantizer.quantize_index([value])[0]
                 )
                 self._next_state[state, bit] = ((state << 1) | bit) & mask
+        # Hoisted per-step work: predecessor lists (ascending, the ACS
+        # tie-break order) and the full branch-metric table — one row
+        # per received quantizer index — so neither is recomputed
+        # inside the per-cycle ACS loop.
+        self._predecessors = [
+            [
+                s
+                for s in range(self.num_states)
+                if int(self._next_state[s, target & 1]) == target
+            ]
+            for target in range(self.num_states)
+        ]
+        levels = np.arange(quantizer.num_levels, dtype=np.int64)
+        self._branch_table = np.abs(
+            levels[:, None, None] - self._expected_index[None, :, :]
+        )
 
     # ------------------------------------------------------------------
     # Geometry
@@ -108,10 +124,7 @@ class Trellis:
 
     def predecessors(self, state: int) -> List[int]:
         """The two states with a branch into ``state``."""
-        return [
-            s for s in range(self.num_states)
-            if self.next_state(s, state & 1) == state
-        ]
+        return list(self._predecessors[state])
 
     def expected_output(self, state: int, bit: int) -> float:
         """Noiseless channel output of the branch ``state --bit-->``."""
@@ -121,7 +134,19 @@ class Trellis:
     def branch_metric(self, q_index: int, state: int, bit: int) -> int:
         """Integer branch metric: index distance between the received
         level and the branch's expected level."""
-        return abs(int(q_index) - int(self._expected_index[state, bit]))
+        q = int(q_index)
+        if 0 <= q < self._branch_table.shape[0]:
+            return int(self._branch_table[q, state, bit])
+        return abs(q - int(self._expected_index[state, bit]))
+
+    def branch_metric_table(self) -> np.ndarray:
+        """Precomputed metrics, shape ``(num_levels, num_states, 2)``:
+        entry ``[q, s, b]`` is :meth:`branch_metric` of branch
+        ``s --b-->`` for received index ``q``.  Computed once at
+        construction — callers stepping the trellis many times (the
+        Monte-Carlo simulators, the DTMC builders) should index this
+        instead of recomputing distances per cycle."""
+        return self._branch_table
 
     # ------------------------------------------------------------------
     # Add-compare-select
@@ -136,14 +161,17 @@ class Trellis:
         """
         new_metrics = [0] * self.num_states
         survivors = [0] * self.num_states
+        q = int(q_index)
+        if 0 <= q < self._branch_table.shape[0]:
+            branch = self._branch_table[q]
+        else:  # off-table indices fall back to the direct distance
+            branch = np.abs(q - self._expected_index)
         for target in range(self.num_states):
             bit = target & 1
             best_metric = None
             best_pred = 0
-            for pred in self.predecessors(target):
-                metric = int(path_metrics[pred]) + self.branch_metric(
-                    q_index, pred, bit
-                )
+            for pred in self._predecessors[target]:
+                metric = int(path_metrics[pred]) + int(branch[pred, bit])
                 if best_metric is None or metric < best_metric:
                     best_metric = metric
                     best_pred = pred
