@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""Benchmark-regression guard: compare fresh ``BENCH_*.json`` runs
+against the committed baselines in ``benchmarks/baselines/``.
+
+Usage (from the repository root, after a benchmark run)::
+
+    python benchmarks/compare.py                 # scan ./BENCH_*.json
+    python benchmarks/compare.py BENCH_zoo.json  # compare one file
+    python benchmarks/compare.py --update        # rewrite the baselines
+    python benchmarks/compare.py --threshold 0.4 # custom regression bar
+
+A *regression* is a tracked benchmark whose mean wall-clock exceeds its
+baseline mean by more than ``--threshold`` (default 40%); any
+regression makes the script exit non-zero, which CI surfaces as a
+(non-blocking) red step.  Benchmarks present on only one side are
+reported but never fail the run — machines differ and suites grow.
+
+Baselines are stored in a *compact* schema (one mean per benchmark
+name, plus provenance), not raw pytest-benchmark output, so committing
+them stays cheap::
+
+    {"source": "BENCH_zoo.json", "benchmarks": {"<fullname>": 0.0123}}
+
+``--update`` converts the fresh pytest-benchmark JSON files into this
+schema and overwrites the baselines — run it on the reference machine
+when a deliberate performance change moves the floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+from typing import Dict, List, Optional, Tuple
+
+#: Default location of the committed baselines, relative to this file.
+BASELINE_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "baselines")
+
+#: Default allowed slowdown before a benchmark counts as regressed.
+DEFAULT_THRESHOLD = 0.40
+
+
+def load_means(path: str) -> Tuple[str, Dict[str, float]]:
+    """Read ``{fullname: mean seconds}`` from either schema.
+
+    Accepts raw pytest-benchmark output (``{"benchmarks": [{...}]}``)
+    or the compact baseline schema (``{"benchmarks": {name: mean}}``).
+    """
+    with open(path) as handle:
+        data = json.load(handle)
+    benchmarks = data.get("benchmarks", data)
+    if isinstance(benchmarks, dict):
+        return data.get("source", os.path.basename(path)), {
+            str(name): float(mean) for name, mean in benchmarks.items()
+        }
+    means: Dict[str, float] = {}
+    for bench in benchmarks:
+        name = bench.get("fullname") or bench["name"]
+        means[str(name)] = float(bench["stats"]["mean"])
+    return os.path.basename(path), means
+
+
+def write_baseline(source: str, means: Dict[str, float], path: str) -> None:
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(
+            {"source": source, "benchmarks": means},
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+        handle.write("\n")
+
+
+def compare_file(
+    current_path: str, baseline_path: str, threshold: float
+) -> Tuple[List[str], int]:
+    """Compare one fresh run against one baseline.
+
+    Returns the report lines and the number of regressions.
+    """
+    lines: List[str] = []
+    _, current = load_means(current_path)
+    if not os.path.exists(baseline_path):
+        lines.append(
+            f"  no baseline at {baseline_path} — run with --update to create"
+        )
+        return lines, 0
+    _, baseline = load_means(baseline_path)
+
+    regressions = 0
+    for name in sorted(current):
+        mean = current[name]
+        base = baseline.get(name)
+        if base is None:
+            lines.append(f"  NEW       {name}: {mean:.6f}s (untracked)")
+            continue
+        ratio = mean / base if base > 0 else float("inf")
+        if ratio > 1.0 + threshold:
+            regressions += 1
+            verdict = "REGRESSED"
+        elif ratio < 1.0 / (1.0 + threshold):
+            verdict = "improved "
+        else:
+            verdict = "ok       "
+        lines.append(
+            f"  {verdict} {name}: {mean:.6f}s vs baseline {base:.6f}s"
+            f" ({ratio:.2f}x)"
+        )
+    for name in sorted(set(baseline) - set(current)):
+        lines.append(f"  MISSING   {name} (in baseline, not in this run)")
+    return lines, regressions
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "files",
+        nargs="*",
+        help="fresh pytest-benchmark JSON files (default: ./BENCH_*.json)",
+    )
+    parser.add_argument(
+        "--baselines",
+        default=BASELINE_DIR,
+        help="baseline directory (default: benchmarks/baselines)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="allowed relative slowdown before failing (default: 0.40)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baselines from the given runs instead of comparing",
+    )
+    args = parser.parse_args(argv)
+
+    files = args.files or sorted(glob.glob("BENCH_*.json"))
+    if not files:
+        print("no BENCH_*.json files found — run the benchmark suites first")
+        return 1
+
+    if args.update:
+        for path in files:
+            source, means = load_means(path)
+            target = os.path.join(args.baselines, os.path.basename(path))
+            write_baseline(source, means, target)
+            print(f"baseline updated: {target} ({len(means)} benchmarks)")
+        return 0
+
+    total_regressions = 0
+    for path in files:
+        baseline_path = os.path.join(args.baselines, os.path.basename(path))
+        print(f"{path}:")
+        lines, regressions = compare_file(path, baseline_path, args.threshold)
+        print("\n".join(lines))
+        total_regressions += regressions
+    if total_regressions:
+        print(
+            f"\n{total_regressions} benchmark(s) regressed more than"
+            f" {args.threshold:.0%} vs baseline"
+        )
+        return 1
+    print(f"\nno regressions beyond {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,6 @@ import pytest
 
 from repro.core.reductions import lump
 from repro.dtmc import (
-    build_dtmc,
     distribution_at,
     stationary_distribution,
 )

@@ -4,7 +4,6 @@ Asserts the plot's shape: strictly decreasing in L, with the absolute
 per-step change collapsing past L ~= 5m (the paper's "stabilizes").
 """
 
-import pytest
 
 from repro.experiments import figure2
 

@@ -5,7 +5,6 @@ paper's shape claims: substantial reduction factor, exact agreement
 between M and M_R, and P1 ~ 0 << P2 << P3 ~ 1 at 5 dB.
 """
 
-import pytest
 
 from repro.experiments import table1
 from repro.viterbi import ViterbiModelConfig

@@ -5,7 +5,6 @@ order of magnitude (or more) beyond the 1x2 factor, and the counted
 full-model sizes match the built models where those exist.
 """
 
-import pytest
 
 from repro.experiments import table2
 from repro.mimo import MimoSystemConfig, full_state_count, reduced_state_count

@@ -8,7 +8,7 @@ and the convergence model is far smaller than the error models.
 import pytest
 
 from repro.experiments import table4
-from repro.viterbi import ViterbiModelConfig, build_reduced_model
+from repro.viterbi import build_reduced_model
 
 
 def run_table4():

@@ -1,0 +1,74 @@
+"""Benchmarks of the scenario-zoo registry build + sweep path.
+
+Tracks the cost of the layer every scaling PR now plugs into:
+
+* cold registry builds through the shared reduction pipeline (the
+  paper families and the lumping-fallback synthetic family);
+* an exact sweep of a parameter grid through the cached engine;
+* the same grid through the batched APMC backend;
+* the zoo-wide survey (build + check every family at defaults).
+
+CI runs this file into ``BENCH_zoo.json`` and feeds it (with the other
+``BENCH_*`` files) to ``benchmarks/compare.py``, the regression guard.
+"""
+
+from repro import zoo
+from repro.engine import SmcConfig
+
+
+def test_bench_build_viterbi_reduced(benchmark):
+    """Cold build of the Viterbi family (c/w abstraction quotient)."""
+    scenario = benchmark(lambda: zoo.build("viterbi-memory-m"))
+    assert scenario.reduction == "abstraction"
+
+
+def test_bench_build_mimo_symmetry(benchmark):
+    """Cold build of the 1xN detector (on-the-fly symmetry quotient)."""
+    scenario = benchmark(lambda: zoo.build("mimo-1xN"))
+    assert scenario.reduction == "symmetry"
+
+
+def test_bench_build_random_sparse_lumping(benchmark):
+    """Lumping-fallback path: build full chain + coarsest lumping."""
+    scenario = benchmark(
+        lambda: zoo.build("random-sparse", {"n": 256, "num_blocks": 16})
+    )
+    assert scenario.reduction == "lumping"
+    assert scenario.reduced_states == 16
+
+
+def test_bench_sweep_exact(benchmark):
+    """Exact sweep: 6-point MIMO grid through the cached solver engine."""
+    results = benchmark(
+        lambda: zoo.sweep(
+            "mimo-1xN",
+            {"snr_db": [4.0, 6.0, 8.0], "num_y_levels": [2, 3]},
+            "P=? [ F<=10 flag ]",
+            executor="serial",
+        )
+    )
+    assert len(results) == 6
+    assert all(r.ok for r in results)
+
+
+def test_bench_sweep_apmc(benchmark):
+    """Statistical sweep: same grid through the batched APMC backend."""
+    smc = SmcConfig(epsilon=0.02, delta=0.05, seed=0)
+    results = benchmark(
+        lambda: zoo.sweep(
+            "mimo-1xN",
+            {"snr_db": [4.0, 6.0, 8.0], "num_y_levels": [2, 3]},
+            "P=? [ F<=10 flag ]",
+            backend="apmc",
+            smc=smc,
+            executor="serial",
+        )
+    )
+    assert len(results) == 6
+    assert all(r.ok for r in results)
+
+
+def test_bench_survey(benchmark):
+    """Zoo-wide health pass: every family built and checked at defaults."""
+    results = benchmark(lambda: zoo.survey(executor="serial"))
+    assert all(r.ok for r in results.values())

@@ -16,7 +16,7 @@ receiver from scratch:
 Run:  python examples/custom_rtl_model.py
 """
 
-from repro.comm import bpsk_awgn_ber, noise_sigma, q_function
+from repro.comm import bpsk_awgn_ber
 from repro.pctl import check
 from repro.prog import Module, Var, explore_module, ite
 

@@ -21,7 +21,6 @@ from repro.mimo import (
     MimoSystemConfig,
     build_detector_model,
     full_state_count,
-    reduced_state_count,
 )
 from repro.pctl import check
 from repro.sim import (

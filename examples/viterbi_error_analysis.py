@@ -15,7 +15,6 @@ Reproduces the paper's Section IV-A pipeline on one page:
 Run:  python examples/viterbi_error_analysis.py
 """
 
-import numpy as np
 
 from repro.core.reductions import are_bisimilar, quotient_by_function
 from repro.pctl import check

@@ -53,8 +53,9 @@ from .engine import (
 )
 from .pctl import check, parse_formula
 from .smc import smc_decide, smc_estimate
+from . import zoo
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Guarantee",
@@ -74,5 +75,6 @@ __all__ = [
     "parse_formula",
     "smc_decide",
     "smc_estimate",
+    "zoo",
     "__version__",
 ]

@@ -11,7 +11,6 @@ particular quantization level").
 
 from __future__ import annotations
 
-import math
 from typing import Sequence
 
 import numpy as np

@@ -17,7 +17,7 @@ numbers the paper promises, with the evidence attached.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Union
 
 from ..dtmc import DTMC, assert_ergodic, reachability_iterations

@@ -21,7 +21,7 @@ programmatic analogue of the paper's proof obligation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence
 
 import numpy as np
 from scipy import sparse

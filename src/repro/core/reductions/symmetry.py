@@ -24,10 +24,8 @@ pCTL properties over the symmetric labels.
 
 from __future__ import annotations
 
-import itertools
-from typing import Any, Callable, Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Hashable, Iterable, Optional, Sequence, Tuple
 
-import numpy as np
 
 from ...dtmc.chain import DTMC
 

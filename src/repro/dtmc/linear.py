@@ -14,7 +14,7 @@ systems and as independent cross-checks in the test suite.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 from scipy import sparse

@@ -15,7 +15,7 @@ accounts the matrix-vector products performed on its behalf.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+from typing import Iterator, Optional
 
 import numpy as np
 

@@ -149,6 +149,24 @@ class Engine:
         """Drop every cached factorization and memoized result."""
         self._chains.clear()
 
+    def register(self, chain: DTMC) -> "Engine":
+        """Adopt ``chain`` into the engine's cache bookkeeping.
+
+        Registration creates the per-chain cache slot eagerly, so the
+        scenario-zoo pipeline can hand back a chain that is already
+        known to the engine every later check will run on.  It is
+        idempotent and costs nothing beyond the (empty) slot; caches
+        still fill lazily on first use and are dropped when the chain
+        is garbage collected, exactly as for lazily-discovered chains.
+        """
+        self._cache(chain)
+        return self
+
+    @property
+    def num_registered_chains(self) -> int:
+        """Number of chains the engine currently tracks caches for."""
+        return len(self._chains)
+
     # ------------------------------------------------------------------
     # Linear-system kernel
     # ------------------------------------------------------------------

@@ -20,7 +20,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..engine import sweep
 from ..pctl import ModelChecker
-from ..viterbi import ViterbiModelConfig, build_convergence_model
+from ..zoo import build as zoo_build
 from .report import banner, format_table
 
 __all__ = ["Figure2Result", "run", "main"]
@@ -55,11 +55,13 @@ def _check_point(
 
     Module-level (not a closure) so ``executor="process"`` can pickle it.
     """
-    config = ViterbiModelConfig(snr_db=snr_db, traceback_length=length)
-    result = build_convergence_model(config)
-    checker = ModelChecker(result.chain)
+    scenario = zoo_build(
+        "viterbi-convergence",
+        {"snr_db": snr_db, "traceback_length": length},
+    )
+    checker = ModelChecker(scenario.chain)
     prop = "S=? [ nonconv ]" if horizon is None else f"R=? [ I={horizon} ]"
-    return float(checker.check(prop).value), result.num_states
+    return float(checker.check(prop).value), scenario.reduced_states
 
 
 def run(
@@ -118,7 +120,7 @@ def main(
     lines = [banner("Figure 2 - C1 as a function of L")]
     lines.append(
         format_table(
-            ["L"] + [str(l) for l in result.lengths],
+            ["L"] + [str(length) for length in result.lengths],
             [
                 ["C1"] + result.values,
                 ["states"] + result.states,

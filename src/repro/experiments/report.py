@@ -7,7 +7,7 @@ comparison EXPERIMENTS.md records is visible at the terminal too.
 
 from __future__ import annotations
 
-from typing import Any, List, Sequence
+from typing import Any, Sequence
 
 __all__ = ["format_table", "format_value", "banner"]
 

@@ -23,12 +23,9 @@ from functools import partial
 from typing import List, Optional, Tuple
 
 from ..engine import sweep_values
-from ..mimo import (
-    MimoSystemConfig,
-    build_detector_model,
-    full_state_count,
-    reduced_state_count,
-)
+from ..mimo import MimoSystemConfig, full_state_count
+from ..zoo import build as zoo_build
+from ..zoo import mimo_family_params
 from .report import banner, format_table
 
 __all__ = ["Table2Row", "run", "main", "PAPER_REFERENCE"]
@@ -59,22 +56,17 @@ def _build_system(
     ``executor="process"`` can pickle it)."""
     name, config = item
     start = time.perf_counter()
-    reduced = build_detector_model(
-        config, reduced=True, branch_cutoff=branch_cutoff
-    )
-    # Build the full model explicitly only when it is small enough
-    # to hold its (dense-row) matrix; otherwise count it exactly.
-    full_count = full_state_count(config)
-    built = full_count <= 5_000
-    if built:
-        full = build_detector_model(
-            config, reduced=False, branch_cutoff=branch_cutoff
-        )
-        full_count = full.num_states
+    params = mimo_family_params(config, branch_cutoff=branch_cutoff)
+    # Build the full model explicitly only when it is small enough to
+    # hold its (dense-row) matrix; otherwise the pipeline counts it
+    # exactly.  The threshold is decided up front so the quotient is
+    # built exactly once either way.
+    built = full_state_count(config) <= 5_000
+    scenario = zoo_build("mimo-1xN", params, keep_full=built)
     return Table2Row(
         system=name,
-        states_full=full_count,
-        states_reduced=reduced.num_states,
+        states_full=scenario.full_states,
+        states_reduced=scenario.reduced_states,
         seconds=time.perf_counter() - start,
         full_was_built=built,
     )

@@ -17,7 +17,9 @@ from typing import List, Optional, Sequence
 
 from ..dtmc import reachability_iterations
 from ..pctl import ModelChecker
-from ..viterbi import ViterbiModelConfig, build_reduced_model
+from ..viterbi import ViterbiModelConfig
+from ..zoo import build as zoo_build
+from ..zoo import viterbi_family_params
 from .report import banner, format_table
 
 __all__ = ["Table3Result", "run", "main", "PAPER_REFERENCE"]
@@ -53,8 +55,8 @@ def run(
 ) -> Table3Result:
     config = config or ViterbiModelConfig()
     start = time.perf_counter()
-    result = build_reduced_model(config)
-    chain = result.chain
+    scenario = zoo_build("viterbi-memory-m", viterbi_family_params(config))
+    chain = scenario.chain
     # All horizons plus the steady-state reference run as one batch
     # against a single engine, sharing the chain's cached structure.
     checker = ModelChecker(chain)

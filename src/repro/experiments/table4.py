@@ -19,7 +19,9 @@ from typing import List, Optional, Sequence
 
 from ..dtmc import reachability_iterations
 from ..pctl import ModelChecker
-from ..viterbi import ViterbiModelConfig, build_convergence_model
+from ..viterbi import ViterbiModelConfig
+from ..zoo import build as zoo_build
+from ..zoo import convergence_family_params
 from .report import banner, format_table
 
 __all__ = ["Table4Result", "run", "main", "PAPER_REFERENCE"]
@@ -59,8 +61,10 @@ def run(
 ) -> Table4Result:
     config = config or default_config()
     start = time.perf_counter()
-    result = build_convergence_model(config)
-    chain = result.chain
+    scenario = zoo_build(
+        "viterbi-convergence", convergence_family_params(config)
+    )
+    chain = scenario.chain
     # Batched: horizons + steady state share one engine's caches.
     checker = ModelChecker(chain)
     results = checker.check_many(
@@ -72,7 +76,7 @@ def run(
     return Table4Result(
         horizons=list(horizons),
         values=values,
-        states=result.num_states,
+        states=scenario.reduced_states,
         reachability_iterations=reachability_iterations(chain),
         steady_state=steady,
         seconds=elapsed,

@@ -21,9 +21,11 @@ from functools import partial
 from typing import List, Optional, Sequence, Tuple
 
 from ..engine import sweep_values
-from ..mimo import MimoSystemConfig, build_detector_model
+from ..mimo import MimoSystemConfig
 from ..pctl import ModelChecker
 from ..sim import BerEstimate, rule_of_three_upper_bound, simulate_detector_ber
+from ..zoo import build as zoo_build
+from ..zoo import mimo_family_params
 from .report import banner, format_table
 
 __all__ = ["Table5Row", "Table5Result", "run", "main", "PAPER_REFERENCE"]
@@ -64,14 +66,14 @@ def _check_system(
     detector, then batch all horizons through one checker/engine.
     Module-level so ``executor="process"`` can pickle it."""
     name, config = item
-    result = build_detector_model(config, reduced=True)
-    checker = ModelChecker(result.chain)
+    scenario = zoo_build("mimo-1xN", mimo_family_params(config))
+    checker = ModelChecker(scenario.chain)
     results = checker.check_many([f"R=? [ I={t} ]" for t in horizons])
     return Table5Row(
         system=name,
         horizons=list(horizons),
         values=[float(r.value) for r in results],
-        states=result.num_states,
+        states=scenario.reduced_states,
     )
 
 

@@ -18,7 +18,7 @@ fragment, which the test suite verifies by round-trip.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional
 
 import numpy as np
 from scipy import sparse

@@ -27,6 +27,7 @@ from collections import namedtuple
 from typing import Dict, List, Optional, Tuple
 
 from ..dtmc.builder import ExplorationResult, build_iid_dtmc
+from .dtmc_model import _multiset_probability
 from .system import FADING_SIGMA, MimoSystemConfig
 
 __all__ = [
@@ -106,19 +107,6 @@ def _block_values_2tx(
         (float(h_levels[i1]), float(h_levels[i2]), float(y_levels[iy]))
         for i1, i2, iy in blocks
     ]
-
-
-def _multiset_probability(multiset, dist) -> float:
-    n = len(multiset)
-    coefficient = math.factorial(n)
-    probability = 1.0
-    counts: Dict = {}
-    for value in multiset:
-        counts[value] = counts.get(value, 0) + 1
-    for value, count in counts.items():
-        coefficient //= math.factorial(count)
-        probability *= dist[value] ** count
-    return coefficient * probability
 
 
 def step_distribution_2tx(

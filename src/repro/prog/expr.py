@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import operator
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Mapping, Tuple, Union
+from typing import Any, Callable, Mapping
 
 __all__ = ["Expr", "Var", "Const", "ite", "minimum", "maximum", "as_expr"]
 

@@ -21,10 +21,10 @@ the paper's models.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-from .expr import Const, Expr, Var, as_expr
+from .expr import Expr, Var, as_expr
 
 __all__ = ["Module", "VariableDecl", "Command", "ModelError"]
 

@@ -15,7 +15,7 @@ Semantics enforced here (DTMC, following the paper's modeling style):
 from __future__ import annotations
 
 from collections import namedtuple
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Mapping, Optional, Tuple
 
 from ..dtmc.builder import ExplorationResult, build_dtmc
 from .expr import Expr

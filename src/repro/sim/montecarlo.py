@@ -16,7 +16,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..mimo.detector import QuantizedMLDetector, ml_detect_batch
+from ..mimo.detector import ml_detect_batch
 from ..mimo.system import MimoSystemConfig
 from ..viterbi.decoder import RTLViterbiDecoder
 from ..viterbi.dtmc_model import ViterbiModelConfig

@@ -15,7 +15,7 @@ are identified by their *level* in the (fixed) variable order.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Tuple
 
 __all__ = ["BDD"]
 

@@ -13,7 +13,7 @@ role PRISM's MTBDD core plays in the paper.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 

@@ -15,13 +15,10 @@ used to sanity-check the RTL decoder in tests.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
 from typing import Deque, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..comm.channel import PartialResponseTransmitter
-from ..comm.quantizer import UniformQuantizer
 from .trellis import ACSResult, Trellis
 
 __all__ = ["RTLViterbiDecoder", "BlockMLSequenceDetector"]

@@ -26,8 +26,7 @@ state count reported for P3 in Table I.
 from __future__ import annotations
 
 from collections import namedtuple
-from dataclasses import dataclass, field
-from functools import lru_cache
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..comm.channel import PartialResponseTransmitter

@@ -1,0 +1,82 @@
+"""Scenario model zoo: registered chain families behind one pipeline.
+
+The paper's methodology — DTMC + pCTL + property-preserving reductions
+— covers *families* of designs, not single models.  This package is
+that family layer:
+
+* :mod:`registry` — ``register_model`` / ``get_model`` / ``list_models``:
+  named, parameterized, documented chain families.
+* :mod:`pipeline` — the shared ``ScenarioSpec -> build -> reduce ->
+  Engine registration`` path; every scenario returns a
+  :class:`BuiltScenario` carrying provenance (family, params, full vs
+  reduced state counts, reduction kind and wall time, optional
+  bisimilarity verification).
+* :mod:`families` — the built-ins: ``mimo-1xN``, ``mimo-NRx2``,
+  ``viterbi-memory-m``, ``viterbi-errcnt``, ``viterbi-convergence``,
+  and the synthetic stress families ``birth-death`` and
+  ``random-sparse``.
+* :mod:`sweep` — zoo-wide sweeps: a family's parameter grid fanned
+  through :func:`repro.engine.sweep_check` with exact or statistical
+  backends; :func:`survey` checks the whole zoo at defaults.
+* :mod:`cli` — ``python -m repro.zoo list|build|sweep|survey`` (also
+  installed as the ``repro-zoo`` console script).
+
+>>> from repro import zoo
+>>> scenario = zoo.build("mimo-1xN", {"num_rx": 2, "snr_db": 6.0})
+>>> scenario.reduced_states < scenario.full_states
+True
+>>> results = zoo.sweep("mimo-1xN", {"snr_db": [4.0, 8.0]},
+...                     "P=? [ F<=10 flag ]", executor="serial")
+>>> len(results)
+2
+"""
+
+from . import families  # noqa: F401  (importing registers the built-ins)
+from .families import (
+    convergence_family_params,
+    mimo_family_params,
+    viterbi_family_params,
+)
+from .pipeline import (
+    REDUCTIONS,
+    BuiltScenario,
+    FamilyBuild,
+    ReductionSoundnessError,
+    ScenarioSpec,
+    build,
+)
+from .registry import (
+    ModelFamily,
+    UnknownFamilyError,
+    ZooError,
+    get_model,
+    list_models,
+    model_family,
+    register_model,
+    unregister_model,
+)
+from .sweep import survey, sweep
+
+__all__ = [
+    "REDUCTIONS",
+    "BuiltScenario",
+    "FamilyBuild",
+    "ReductionSoundnessError",
+    "ScenarioSpec",
+    "build",
+    "ModelFamily",
+    "UnknownFamilyError",
+    "ZooError",
+    "get_model",
+    "list_models",
+    "model_family",
+    "register_model",
+    "unregister_model",
+    "survey",
+    "sweep",
+    "convergence_family_params",
+    "mimo_family_params",
+    "viterbi_family_params",
+]
+
+BUILTIN_FAMILIES = families.BUILTIN_FAMILIES

@@ -1,0 +1,253 @@
+"""Command-line interface: ``python -m repro.zoo`` / ``repro-zoo``.
+
+Subcommands::
+
+    repro-zoo list [--tag mimo]
+    repro-zoo build mimo-1xN -p num_rx=2 -p snr_db=6.0 --verify
+    repro-zoo sweep mimo-1xN -g snr_db=4,6,8 --backend apmc
+    repro-zoo survey --backend exact
+
+``-p/--param`` sets one scenario parameter (``key=value``, value parsed
+as a Python literal when possible); ``-g/--grid`` names one sweep axis
+(``key=v1,v2,...``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..engine import SmcConfig
+from ..experiments.report import format_table
+from . import pipeline, registry
+from .sweep import survey as _survey
+from .sweep import sweep as _sweep
+
+__all__ = ["main"]
+
+
+def _literal(text: str) -> Any:
+    """Parse a CLI value: Python literal when possible, else string."""
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text
+
+
+def _parse_params(pairs: Optional[Iterable[str]]) -> Dict[str, Any]:
+    params: Dict[str, Any] = {}
+    for pair in pairs or ():
+        if "=" not in pair:
+            raise SystemExit(f"expected key=value, got {pair!r}")
+        key, _, value = pair.partition("=")
+        params[key.strip()] = _literal(value.strip())
+    return params
+
+
+def _parse_axes(pairs: Optional[Iterable[str]]) -> Dict[str, List[Any]]:
+    axes: Dict[str, List[Any]] = {}
+    for pair in pairs or ():
+        if "=" not in pair:
+            raise SystemExit(f"expected key=v1,v2,..., got {pair!r}")
+        key, _, values = pair.partition("=")
+        axes[key.strip()] = [_literal(v.strip()) for v in values.split(",") if v.strip()]
+    return axes
+
+
+def _render_value(value: Any) -> str:
+    """Compact rendering of exact / APMC / SPRT sweep values."""
+    if hasattr(value, "estimate"):  # ApmcResult
+        return f"{value.estimate:.6g} ±{value.epsilon} ({value.samples} samples)"
+    if hasattr(value, "accept"):  # SprtResult
+        verdict = ">=" if value.accept else "<"
+        return f"P {verdict} {value.theta} ({value.samples} samples)"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    families = registry.list_models(tag=args.tag)
+    if not families:
+        print("no families registered" + (f" with tag {args.tag!r}" if args.tag else ""))
+        return 1
+    rows = [
+        [
+            fam.name,
+            ",".join(fam.tags),
+            fam.default_property,
+            " ".join(f"{k}={v}" for k, v in sorted(fam.defaults.items())),
+        ]
+        for fam in families
+    ]
+    print(format_table(["family", "tags", "default property", "defaults"], rows))
+    print(f"{len(families)} families registered")
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    scenario = pipeline.build(
+        args.family,
+        _parse_params(args.param),
+        reduce=not args.no_reduce,
+        verify=args.verify,
+        keep_full=args.keep_full,
+    )
+    print(scenario.describe())
+    if args.check:
+        from ..pctl import check
+
+        formula = (
+            args.formula
+            or scenario.default_property
+            or registry.get_model(args.family).default_property
+        )
+        value = check(scenario.chain, formula).value
+        print(f"{formula}  =  {_render_value(float(value))}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.backend == "sprt" and args.theta is None:
+        print("error: --backend sprt requires --theta", file=sys.stderr)
+        return 2
+    axes = _parse_axes(args.grid)
+    smc = SmcConfig(
+        epsilon=args.epsilon, delta=args.delta, seed=args.seed
+    )
+    results = _sweep(
+        args.family,
+        axes=axes or None,
+        points=[{}] if not axes else None,
+        formula=args.formula,
+        base_params=_parse_params(args.param),
+        backend=args.backend,
+        theta=args.theta,
+        smc=smc,
+        executor=args.executor,
+    )
+    rows = []
+    failures = 0
+    for result in results:
+        point = " ".join(f"{k}={v}" for k, v in sorted(result.point.items())) or "<defaults>"
+        if result.ok:
+            rows.append([point, _render_value(result.value), f"{result.seconds:.3f}"])
+        else:
+            failures += 1
+            rows.append([point, f"ERROR {result.error}", f"{result.seconds:.3f}"])
+    print(format_table(["point", "value", "seconds"], rows))
+    print(
+        f"{len(results)} points, {failures} failed"
+        f" (backend={args.backend}, formula="
+        f"{args.formula or registry.get_model(args.family).default_property!r})"
+    )
+    return 1 if failures else 0
+
+
+def _cmd_survey(args: argparse.Namespace) -> int:
+    results = _survey(
+        tag=args.tag, backend=args.backend, executor=args.executor
+    )
+    rows = []
+    failures = 0
+    for name, result in sorted(results.items()):
+        if result.ok:
+            rows.append([name, _render_value(result.value), f"{result.seconds:.3f}"])
+        else:
+            failures += 1
+            rows.append([name, f"ERROR {result.error}", f"{result.seconds:.3f}"])
+    print(format_table(["family", "default property value", "seconds"], rows))
+    print(f"{len(results)} families, {failures} failed (backend={args.backend})")
+    return 1 if failures else 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-zoo",
+        description="Scenario model zoo: list, build and sweep chain families.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="show the registered families")
+    p_list.add_argument("--tag", help="filter by tag (mimo, viterbi, synthetic)")
+    p_list.set_defaults(fn=_cmd_list)
+
+    p_build = sub.add_parser("build", help="build one scenario with provenance")
+    p_build.add_argument("family")
+    p_build.add_argument(
+        "-p", "--param", action="append", metavar="KEY=VALUE",
+        help="override one family parameter (repeatable)",
+    )
+    p_build.add_argument(
+        "--verify", action="store_true",
+        help="build the full model too and verify bisimilarity",
+    )
+    p_build.add_argument(
+        "--keep-full", action="store_true",
+        help="also build the full (unreduced) model",
+    )
+    p_build.add_argument(
+        "--no-reduce", action="store_true", help="check the full model"
+    )
+    p_build.add_argument(
+        "--check", action="store_true",
+        help="also model-check a property on the built chain",
+    )
+    p_build.add_argument(
+        "--formula", help="property for --check (default: family's)"
+    )
+    p_build.set_defaults(fn=_cmd_build)
+
+    p_sweep = sub.add_parser("sweep", help="check a property across a grid")
+    p_sweep.add_argument("family")
+    p_sweep.add_argument(
+        "-g", "--grid", action="append", metavar="KEY=V1,V2,...",
+        help="one sweep axis (repeatable; Cartesian product)",
+    )
+    p_sweep.add_argument(
+        "-p", "--param", action="append", metavar="KEY=VALUE",
+        help="fixed parameter applied to every point (repeatable)",
+    )
+    p_sweep.add_argument("--formula", help="pCTL property (default: family's)")
+    p_sweep.add_argument(
+        "--backend", choices=("exact", "apmc", "sprt"), default="exact"
+    )
+    p_sweep.add_argument(
+        "--theta", type=float, help="threshold for backend=sprt"
+    )
+    p_sweep.add_argument("--epsilon", type=float, default=0.01)
+    p_sweep.add_argument("--delta", type=float, default=0.05)
+    p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument(
+        "--executor", choices=("serial", "thread", "process"), default="thread"
+    )
+    p_sweep.set_defaults(fn=_cmd_sweep)
+
+    p_survey = sub.add_parser(
+        "survey", help="build+check every family at its defaults"
+    )
+    p_survey.add_argument("--tag", help="filter by tag")
+    p_survey.add_argument(
+        "--backend", choices=("exact", "apmc", "sprt"), default="exact"
+    )
+    p_survey.add_argument(
+        "--executor", choices=("serial", "thread", "process"), default="thread"
+    )
+    p_survey.set_defaults(fn=_cmd_survey)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except registry.ZooError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

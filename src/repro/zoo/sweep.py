@@ -1,0 +1,143 @@
+"""Zoo-wide sweeps: fan a family's parameter grid through the engine.
+
+:func:`sweep` is the scenario-grid entry point the registry enables:
+name a family, name the axes, and the grid fans through
+:func:`repro.engine.sweep_check` with any of its checking backends —
+``"exact"`` (the cached solver engine), ``"apmc"`` (Hoeffding
+estimates) or ``"sprt"`` (threshold decisions).  Every point builds
+through the shared reduction pipeline, so large grids automatically
+check quotients instead of full models.
+
+:func:`survey` is the zoo-wide smoke sweep: every registered family at
+its defaults against its own default property — the "does the whole
+zoo still build and check" pass the CI benchmark job tracks.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..engine import SmcConfig, SweepResult
+from ..engine import grid as engine_grid
+from ..engine import sweep_check
+from .pipeline import build
+from .registry import get_model, list_models
+
+__all__ = ["sweep", "survey"]
+
+
+def _build_point(
+    point: Mapping[str, Any],
+    *,
+    family: str,
+    base_params: Optional[Mapping[str, Any]],
+    reduce: bool,
+):
+    """Build one grid point's chain (module-level for picklability)."""
+    params = dict(base_params or {})
+    params.update(point)
+    return build(family, params, reduce=reduce).chain
+
+
+def sweep(
+    family: str,
+    axes: Optional[Mapping[str, Iterable[Any]]] = None,
+    formula: Optional[str] = None,
+    *,
+    points: Optional[Sequence[Mapping[str, Any]]] = None,
+    base_params: Optional[Mapping[str, Any]] = None,
+    reduce: bool = True,
+    backend: str = "exact",
+    theta: Optional[float] = None,
+    smc: Optional[SmcConfig] = None,
+    solver=None,
+    executor: str = "thread",
+    max_workers: Optional[int] = None,
+    on_error: str = "capture",
+) -> List[SweepResult]:
+    """Check ``formula`` across a parameter grid of one family.
+
+    Parameters
+    ----------
+    family:
+        Registered family name.
+    axes:
+        Named parameter axes, e.g. ``{"snr_db": [4, 6, 8]}``; their
+        Cartesian product (via :func:`repro.engine.grid`) is the sweep.
+        Alternatively pass explicit ``points`` (a list of parameter
+        dicts).
+    formula:
+        pCTL property; defaults to the family's ``default_property``.
+    base_params:
+        Overrides applied to *every* point (the grid's fixed plane).
+    reduce:
+        Build reduced chains (default) or full ones.
+    backend / theta / smc / solver:
+        Passed through to :func:`repro.engine.sweep_check` — see its
+        docs for the exact/apmc/sprt semantics and per-point seeding.
+    executor / max_workers / on_error:
+        Passed through to the underlying sweep runner.
+
+    Returns the ordered :class:`~repro.engine.SweepResult` list; each
+    result's ``point`` is the per-point parameter dict.
+    """
+    fam = get_model(family)  # fail fast on unknown names
+    if (axes is None) == (points is None):
+        raise ValueError("pass exactly one of axes= or points=")
+    if points is None:
+        points = engine_grid(**{k: list(v) for k, v in axes.items()})
+    if formula is None:
+        formula = fam.default_property
+    builder = functools.partial(
+        _build_point,
+        family=family,
+        base_params=dict(base_params) if base_params else None,
+        reduce=reduce,
+    )
+    return sweep_check(
+        builder,
+        list(points),
+        formula,
+        backend=backend,
+        theta=theta,
+        smc=smc,
+        solver=solver,
+        executor=executor,
+        max_workers=max_workers,
+        on_error=on_error,
+    )
+
+
+def survey(
+    *,
+    tag: Optional[str] = None,
+    backend: str = "exact",
+    smc: Optional[SmcConfig] = None,
+    executor: str = "thread",
+    max_workers: Optional[int] = None,
+) -> Dict[str, SweepResult]:
+    """Check every registered family at its defaults.
+
+    One point per family, each against its own ``default_property``
+    with the chosen backend.  Returns ``{family name: SweepResult}``;
+    failures are captured per family, never raised — a zoo-wide health
+    check rather than an experiment.
+    """
+    results: Dict[str, SweepResult] = {}
+    for fam in list_models(tag=tag):
+        outcome = sweep(
+            fam.name,
+            points=[{}],
+            formula=fam.default_property,
+            backend=backend,
+            theta=0.5 if backend == "sprt" else None,
+            smc=smc,
+            executor=executor,
+            max_workers=max_workers,
+            on_error="capture",
+        )
+        result = outcome[0]
+        result.point = {"family": fam.name}
+        results[fam.name] = result
+    return results

@@ -1,6 +1,5 @@
 """Unit + property tests for the communication substrate (repro.comm)."""
 
-import math
 
 import numpy as np
 import pytest
@@ -268,7 +267,7 @@ class TestTheory:
 
     def test_diversity_reduces_ber(self):
         snr = 8.0
-        bers = [bpsk_diversity_ber(snr, l) for l in (1, 2, 4)]
+        bers = [bpsk_diversity_ber(snr, branches) for branches in (1, 2, 4)]
         assert bers[0] > bers[1] > bers[2]
         assert bpsk_diversity_ber(snr, 1) == pytest.approx(bpsk_rayleigh_ber(snr))
 

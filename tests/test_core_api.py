@@ -2,10 +2,9 @@
 
 import pytest
 
-from repro import PerformanceAnalyzer, check
+from repro import PerformanceAnalyzer
 from repro.core import (
     Guarantee,
-    MetricSpec,
     PAPER_METRICS,
     average_case_error,
     best_case_error,

@@ -1,7 +1,5 @@
 """Unit tests for graph analyses (repro.dtmc.graph)."""
 
-import numpy as np
-import pytest
 
 from repro.dtmc import (
     DTMC,

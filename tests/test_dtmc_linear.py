@@ -12,7 +12,6 @@ from repro.dtmc import (
     jacobi_solve,
     power_solve,
 )
-from repro.pctl import ModelChecker, check, parse_formula
 
 from helpers import gamblers_ruin, knuth_yao_die, random_dtmcs
 

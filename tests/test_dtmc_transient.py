@@ -1,6 +1,5 @@
 """Unit + property tests for transient analysis (repro.dtmc.transient)."""
 
-import itertools
 
 import numpy as np
 import pytest

@@ -7,7 +7,6 @@ with its ``main()`` entry point where available.
 
 import pathlib
 import runpy
-import sys
 
 import pytest
 

@@ -6,7 +6,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.comm import bpsk_diversity_ber, noise_sigma
+from repro.comm import bpsk_diversity_ber
 from repro.core.reductions import (
     are_bisimilar,
     quotient_by_function,
@@ -17,7 +17,6 @@ from repro.mimo import (
     MimoSystemConfig,
     QuantizedMLDetector,
     block_metrics,
-    block_values,
     bpsk_candidates,
     build_detector_model,
     full_state_count,

@@ -1,6 +1,5 @@
 """Tests for the N_R x 2 MIMO detector DTMC (the paper's Eq. 14 shape)."""
 
-import numpy as np
 import pytest
 
 from repro.core.reductions import are_bisimilar, quotient_by_function

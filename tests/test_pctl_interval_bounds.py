@@ -1,12 +1,10 @@
 """Tests for interval-bounded operators: U[a,b], F[a,b], G[a,b]."""
 
-import numpy as np
 import pytest
 
 from repro.dtmc import dtmc_from_dict
 from repro.pctl import (
     Eventually,
-    PctlSemanticsError,
     PctlSyntaxError,
     Until,
     check,

@@ -1,6 +1,5 @@
 """Tests for bisimilarity decision, symmetry reduction, and equivalence checking."""
 
-import numpy as np
 import pytest
 
 from repro.core.reductions import (
@@ -14,7 +13,7 @@ from repro.core.reductions import (
     sorted_blocks_canonicalizer,
     verify_permutation_invariance,
 )
-from repro.dtmc import build_dtmc, dtmc_from_dict
+from repro.dtmc import build_dtmc
 
 from helpers import knuth_yao_die, two_state_chain
 

@@ -19,7 +19,6 @@ from repro.dtmc import (
     distribution_at,
     dtmc_from_dict,
     instantaneous_reward,
-    long_run_reward,
 )
 from repro.pctl import check
 

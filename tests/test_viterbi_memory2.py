@@ -11,7 +11,6 @@ import pytest
 from repro.pctl import check
 from repro.sim import simulate_viterbi_ber
 from repro.viterbi import (
-    RTLViterbiDecoder,
     ViterbiModelConfig,
     build_convergence_model,
     build_full_model,

@@ -12,7 +12,6 @@ checks:
   cross-check).
 """
 
-import itertools
 
 import numpy as np
 import pytest
@@ -20,7 +19,6 @@ import pytest
 from repro.core.reductions import (
     are_bisimilar,
     quotient_by_function,
-    verify_permutation_invariance,
 )
 from repro.dtmc import assert_ergodic, reachability_iterations
 from repro.pctl import check
@@ -32,7 +30,6 @@ from repro.viterbi import (
     build_error_count_model,
     build_full_model,
     build_reduced_model,
-    reduced_flag,
     traceback_flag,
 )
 
