@@ -25,7 +25,13 @@ from .bisimulation import (
     disjoint_union,
 )
 from .equivalence import EquivalenceResult, assert_equivalent, functions_equivalent
-from .lumping import coarsest_lumping, initial_partition, lump
+from .lumping import (
+    RefinementStats,
+    coarsest_lumping,
+    coarsest_lumping_with_stats,
+    initial_partition,
+    lump,
+)
 from .symmetry import (
     group_orbit_canonicalizer,
     orbit_sizes,
@@ -45,7 +51,9 @@ __all__ = [
     "EquivalenceResult",
     "assert_equivalent",
     "functions_equivalent",
+    "RefinementStats",
     "coarsest_lumping",
+    "coarsest_lumping_with_stats",
     "initial_partition",
     "lump",
     "group_orbit_canonicalizer",

@@ -16,17 +16,28 @@ the "Strong Lumping Theorem"):
 condition (plus label/reward constancy per class), raising
 :class:`LumpingError` with a concrete witness otherwise — the
 programmatic analogue of the paper's proof obligation.
+
+Aggregation and verification are sparse-matrix algebra, sized for
+10^5+-state chains: the per-state aggregated rows are the rows of one
+sparse product ``P @ B`` (``B`` the CSR block indicator), the
+lumpability check is a grouped min/max reduction over that product's
+``(source block, target block)`` entries (implicit zeros accounted
+for), and label/reward constancy are ``np.bincount`` / ``reduceat``
+per-block reductions — no per-state Python anywhere on the hot path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Dict, Hashable, List, Optional, Sequence
 
 import numpy as np
 from scipy import sparse
 
 from ...dtmc.chain import DTMC
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle (lumping imports us)
+    from .lumping import RefinementStats
 
 __all__ = ["LumpingError", "QuotientResult", "quotient_by_function", "quotient_by_partition"]
 
@@ -54,11 +65,16 @@ class QuotientResult:
     reduction_factor:
         ``concrete states / abstract states`` — the figure reported in
         the paper's Table II.
+    refinement:
+        :class:`~repro.core.reductions.lumping.RefinementStats` when the
+        partition came from :func:`~repro.core.reductions.lumping.lump`
+        (strategy, rounds, splitter counts); ``None`` otherwise.
     """
 
     chain: DTMC
     block_of: np.ndarray
     blocks: List[List[int]]
+    refinement: Optional["RefinementStats"] = None
 
     @property
     def num_blocks(self) -> int:
@@ -69,23 +85,81 @@ class QuotientResult:
         return self.block_of.shape[0] / max(1, len(self.blocks))
 
 
-def _aggregate_row(
-    chain: DTMC, state: int, block_of: np.ndarray
-) -> Dict[int, float]:
-    row: Dict[int, float] = {}
-    matrix = chain.transition_matrix
-    for j, p in zip(
-        matrix.indices[matrix.indptr[state] : matrix.indptr[state + 1]],
-        matrix.data[matrix.indptr[state] : matrix.indptr[state + 1]],
-    ):
-        block = int(block_of[j])
-        row[block] = row.get(block, 0.0) + float(p)
-    return row
+def _aggregate_into_blocks(
+    matrix: sparse.spmatrix, block_of: np.ndarray, num_blocks: int
+) -> sparse.csr_matrix:
+    """``P @ B``: row ``s`` holds the probability of ``s`` into each block.
+
+    ``matrix`` may be a row slice of the transition matrix (e.g. the
+    block representatives only); ``block_of`` always covers the full
+    column space.
+    """
+    n = block_of.shape[0]
+    indicator = sparse.csr_matrix(
+        (np.ones(n), (np.arange(n), block_of)), shape=(n, num_blocks)
+    )
+    aggregated = (matrix @ indicator).tocsr()
+    aggregated.sum_duplicates()
+    aggregated.sort_indices()
+    return aggregated
 
 
-def _rows_differ(a: Dict[int, float], b: Dict[int, float], atol: float) -> bool:
-    keys = set(a) | set(b)
-    return any(abs(a.get(k, 0.0) - b.get(k, 0.0)) > atol for k in keys)
+def _verify_strong_lumpability(
+    aggregated: sparse.csr_matrix,
+    block_of: np.ndarray,
+    block_sizes: np.ndarray,
+    atol: float,
+) -> None:
+    """Check ``P(s, C)`` is constant per block, implicit zeros included.
+
+    Entries of ``aggregated`` are grouped by ``(source block, target
+    block)`` with one lexsort; a group violates lumpability when its
+    max-min spread (padded with 0 for members that carry no explicit
+    entry) exceeds ``atol``.
+    """
+    coo = aggregated.tocoo()
+    if coo.nnz == 0:
+        return
+    src_block = block_of[coo.row]
+    order = np.lexsort((coo.col, src_block))
+    grp_block = src_block[order]
+    grp_target = coo.col[order]
+    grp_value = coo.data[order]
+    grp_state = coo.row[order]
+    starts = np.flatnonzero(
+        np.concatenate(
+            [[True], (grp_block[1:] != grp_block[:-1]) | (grp_target[1:] != grp_target[:-1])]
+        )
+    )
+    counts = np.diff(np.append(starts, grp_value.size))
+    group_max = np.maximum.reduceat(grp_value, starts)
+    group_min = np.minimum.reduceat(grp_value, starts)
+    full = counts == block_sizes[grp_block[starts]]
+    low = np.where(full, group_min, np.minimum(group_min, 0.0))
+    high = np.where(full, group_max, np.maximum(group_max, 0.0))
+    bad = np.flatnonzero(high - low > atol)
+    if not bad.size:
+        return
+    g = int(bad[0])
+    seg = slice(int(starts[g]), int(starts[g]) + int(counts[g]))
+    seg_states, seg_values = grp_state[seg], grp_value[seg]
+    block_id = int(grp_block[starts[g]])
+    target = int(grp_target[starts[g]])
+    hi_state = int(seg_states[np.argmax(seg_values)])
+    if full[g]:
+        lo_state = int(seg_states[np.argmin(seg_values)])
+        lo_value = float(seg_values.min())
+    else:  # witness a member with zero mass into the target block
+        present = set(seg_states.tolist())
+        members = np.flatnonzero(block_of == block_id)
+        lo_state = int(next(m for m in members if int(m) not in present))
+        lo_value = 0.0
+    raise LumpingError(
+        f"partition is not strongly lumpable: states {lo_state} and"
+        f" {hi_state} in block {block_id} have different aggregated"
+        f" probability into block {target}:"
+        f" {lo_value} vs {float(seg_values.max())}"
+    )
 
 
 def quotient_by_partition(
@@ -108,6 +182,9 @@ def quotient_by_partition(
     (default: all).  Labels outside this set are dropped from the
     quotient — they are generally not constant per block, so they have
     no well-defined quotient value.
+
+    A 0-state chain quotients to the 0-state chain (empty partition,
+    zero blocks).
     """
     block_of = np.asarray(block_of, dtype=np.int64)
     if block_of.shape != (chain.num_states,):
@@ -116,12 +193,20 @@ def quotient_by_partition(
             f" {chain.num_states}"
         )
     num_blocks = int(block_of.max()) + 1 if block_of.size else 0
-    if set(np.unique(block_of)) != set(range(num_blocks)):
-        raise ValueError("block indices must be contiguous 0..k-1")
+    if block_of.size:
+        uniques = np.unique(block_of)
+        if uniques[0] < 0 or uniques.size != num_blocks:
+            raise ValueError("block indices must be contiguous 0..k-1")
 
-    blocks: List[List[int]] = [[] for _ in range(num_blocks)]
-    for i, b in enumerate(block_of):
-        blocks[int(b)].append(i)
+    block_sizes = np.bincount(block_of, minlength=num_blocks).astype(np.int64)
+    order = np.argsort(block_of, kind="stable")
+    starts = np.concatenate([[0], np.cumsum(block_sizes)]).astype(np.int64)
+    blocks: List[List[int]] = [
+        order[starts[b]:starts[b + 1]].tolist() for b in range(num_blocks)
+    ]
+    # Stable sort keeps members ascending, so the representative of each
+    # block is its lowest-numbered member.
+    representatives = order[starts[:-1]] if num_blocks else np.zeros(0, dtype=np.int64)
 
     if respect is None:
         kept_labels = dict(chain.labels)
@@ -133,59 +218,54 @@ def quotient_by_partition(
             if name not in chain.labels and name not in chain.rewards
         ]
         if unknown:
-            raise KeyError(f"{unknown} are neither labels nor rewards")
+            raise KeyError(
+                f"{unknown} are neither labels nor rewards;"
+                f" available labels: {sorted(chain.labels)},"
+                f" rewards: {sorted(chain.rewards)}"
+            )
         kept_labels = {k: v for k, v in chain.labels.items() if k in respect}
         kept_rewards = {k: v for k, v in chain.rewards.items() if k in respect}
 
-    representative_rows: List[Dict[int, float]] = []
-    for block_id, members in enumerate(blocks):
-        rep_row = _aggregate_row(chain, members[0], block_of)
-        if verify:
-            for other in members[1:]:
-                other_row = _aggregate_row(chain, other, block_of)
-                if _rows_differ(rep_row, other_row, atol):
-                    raise LumpingError(
-                        f"partition is not strongly lumpable: states"
-                        f" {members[0]} and {other} in block {block_id} have"
-                        f" different aggregated rows {rep_row} vs {other_row}"
-                    )
-        representative_rows.append(rep_row)
-
-    if verify:
+    if verify and num_blocks:
+        # Verification needs every state's aggregated row; the quotient
+        # rows are then a representative slice of the same product.
+        aggregated = _aggregate_into_blocks(
+            chain.transition_matrix, block_of, num_blocks
+        )
+        matrix = aggregated[representatives]
+        _verify_strong_lumpability(aggregated, block_of, block_sizes, atol)
         for name, vec in kept_labels.items():
-            for block_id, members in enumerate(blocks):
-                if len(set(bool(vec[i]) for i in members)) > 1:
-                    raise LumpingError(
-                        f"label {name!r} is not constant on block {block_id}"
-                    )
+            true_counts = np.bincount(
+                block_of, weights=vec.astype(np.float64), minlength=num_blocks
+            )
+            bad = np.flatnonzero((true_counts > 0) & (true_counts < block_sizes))
+            if bad.size:
+                raise LumpingError(
+                    f"label {name!r} is not constant on block {int(bad[0])}"
+                )
         for name, vec in kept_rewards.items():
-            for block_id, members in enumerate(blocks):
-                values = vec[members]
-                if values.max() - values.min() > atol:
-                    raise LumpingError(
-                        f"reward {name!r} is not constant on block {block_id}"
-                    )
+            sorted_values = vec[order]
+            spread = np.maximum.reduceat(sorted_values, starts[:-1]) - (
+                np.minimum.reduceat(sorted_values, starts[:-1])
+            )
+            bad = np.flatnonzero(spread > atol)
+            if bad.size:
+                raise LumpingError(
+                    f"reward {name!r} is not constant on block {int(bad[0])}"
+                )
+    else:
+        # Unverified: aggregate only the representative rows — ~n/k less
+        # matmul work than the full product on large chains.
+        matrix = _aggregate_into_blocks(
+            chain.transition_matrix[representatives], block_of, num_blocks
+        )
 
-    rows: List[int] = []
-    cols: List[int] = []
-    vals: List[float] = []
-    for block_id, row in enumerate(representative_rows):
-        for target, probability in row.items():
-            rows.append(block_id)
-            cols.append(target)
-            vals.append(probability)
-    matrix = sparse.csr_matrix((vals, (rows, cols)), shape=(num_blocks, num_blocks))
-
-    init = np.zeros(num_blocks)
-    for i, p in enumerate(chain.initial_distribution):
-        init[block_of[i]] += p
-
-    labels = {
-        name: np.array([bool(vec[members[0]]) for members in blocks])
-        for name, vec in kept_labels.items()
-    }
+    init = np.bincount(
+        block_of, weights=chain.initial_distribution, minlength=num_blocks
+    )
+    labels = {name: vec[representatives].copy() for name, vec in kept_labels.items()}
     rewards = {
-        name: np.array([float(vec[members[0]]) for members in blocks])
+        name: vec[representatives].astype(np.float64)
         for name, vec in kept_rewards.items()
     }
     if abstract_states is None:

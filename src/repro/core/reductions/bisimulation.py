@@ -29,14 +29,19 @@ __all__ = ["BisimulationResult", "coarsest_bisimulation", "are_bisimilar", "disj
 
 
 def coarsest_bisimulation(
-    chain: DTMC, respect: Optional[Sequence[str]] = None, decimals: int = 10
+    chain: DTMC,
+    respect: Optional[Sequence[str]] = None,
+    decimals: int = 10,
+    strategy: str = "splitters",
 ) -> np.ndarray:
     """Coarsest probabilistic bisimulation partition of one chain.
 
     Alias of :func:`repro.core.reductions.lumping.coarsest_lumping`
     under its process-theoretic name.
     """
-    return coarsest_lumping(chain, respect=respect, decimals=decimals)
+    return coarsest_lumping(
+        chain, respect=respect, decimals=decimals, strategy=strategy
+    )
 
 
 def disjoint_union(first: DTMC, second: DTMC) -> DTMC:
@@ -86,6 +91,7 @@ def are_bisimilar(
     second: DTMC,
     respect: Optional[Sequence[str]] = None,
     decimals: int = 10,
+    strategy: str = "splitters",
 ) -> BisimulationResult:
     """Decide probabilistic bisimilarity of two labeled DTMCs.
 
@@ -94,25 +100,40 @@ def are_bisimilar(
     class of the coarsest bisimulation on the disjoint union.  With
     point initial distributions this is the textbook "initial states
     are bisimilar" check; distributions generalize it.
+
+    Two 0-state chains are (vacuously) bisimilar; a 0-state chain is
+    never bisimilar to a non-empty one (it carries no initial mass).
     """
-    union = disjoint_union(first, second)
     if respect is not None:
-        missing = [
-            name for name in respect if name not in union.labels and name not in union.rewards
-        ]
+        shared = (set(first.labels) & set(second.labels)) | (
+            set(first.rewards) & set(second.rewards)
+        )
+        missing = [name for name in respect if name not in shared]
         if missing:
             raise KeyError(
                 f"labels {missing} are not shared by both chains"
             )
-    block_of = coarsest_lumping(union, respect=respect, decimals=decimals)
+    if (first.num_states == 0) != (second.num_states == 0):
+        empty = "first" if first.num_states == 0 else "second"
+        return BisimulationResult(
+            equivalent=False,
+            block_of=np.zeros(first.num_states + second.num_states, dtype=np.int64),
+            witness=f"the {empty} chain is empty, the other is not",
+        )
+    union = disjoint_union(first, second)
+    block_of = coarsest_lumping(
+        union, respect=respect, decimals=decimals, strategy=strategy
+    )
     n1 = first.num_states
-    num_blocks = int(block_of.max()) + 1
-    mass_first = np.zeros(num_blocks)
-    mass_second = np.zeros(num_blocks)
-    for i, p in enumerate(first.initial_distribution):
-        mass_first[block_of[i]] += p
-    for j, p in enumerate(second.initial_distribution):
-        mass_second[block_of[n1 + j]] += p
+    num_blocks = int(block_of.max()) + 1 if block_of.size else 0
+    if num_blocks == 0:  # two empty chains: vacuously bisimilar
+        return BisimulationResult(equivalent=True, block_of=block_of)
+    mass_first = np.bincount(
+        block_of[:n1], weights=first.initial_distribution, minlength=num_blocks
+    )
+    mass_second = np.bincount(
+        block_of[n1:], weights=second.initial_distribution, minlength=num_blocks
+    )
     # The union halves each side's mass; compare the un-halved versions.
     tolerance = 10.0 ** (-decimals) * 10
     diff = np.abs(mass_first - mass_second)

@@ -1,4 +1,4 @@
-"""Optimal state-space lumping by partition refinement.
+"""Optimal state-space lumping by vectorized partition refinement.
 
 Computes the *coarsest* strongly-lumpable partition of a DTMC that
 respects its labels and rewards — the algorithm of Derisavi, Hermanns &
@@ -9,28 +9,200 @@ The refinement loop:
 
 1. start from the partition induced by the (label, reward) signature of
    each state;
-2. repeatedly pick a block ``C`` as *splitter*, compute ``P(s, C)`` for
-   every state ``s``, and split every block whose members disagree;
-3. stop when no splitter refines anything.
+2. compute each state's probability mass into the blocks of the current
+   partition and split every block whose members disagree;
+3. stop when no block refines anything.
 
 The result is the unique coarsest probabilistic bisimulation (Larsen &
 Skou) respecting the labeling; quotienting by it is always sound.
 Probabilities are compared after rounding to ``decimals`` digits,
 making the refinement robust to floating-point noise.
+
+Everything here is sparse-matrix algebra, not per-state Python: a
+refinement step is one sparse product ``P @ B`` (``B`` the CSR
+block-indicator matrix of the current partition) whose rows, rounded to
+``decimals``, *are* the state signatures; states are then regrouped by
+``(old block, signature row)`` with an ``np.unique`` over per-row
+fingerprints.  Two refinement strategies share that kernel:
+
+``strategy="rounds"``
+    Every round recomputes signatures against *all* current blocks —
+    the straightforward global fixpoint; ``O(nnz)`` work per round.
+``strategy="splitters"`` (default)
+    Derisavi-style splitter queue: signatures are recomputed only into
+    *recently split* blocks, so late rounds touch a shrinking column
+    subset of ``P`` — the classic worklist refinement, batched.
+
+Both strategies reach the same (unique) coarsest partition and return
+identical, canonically-numbered ``block_of`` arrays.
+
+Signature rows are grouped by 128-bit content fingerprints (two
+independent 64-bit mixes over the CSR ``(column, value)`` entries plus
+the row's nnz).  A fingerprint collision — probability ``~ n^2 / 2^128``
+— could merge two distinguishable states; the strong-lumpability
+verification in :func:`~repro.core.reductions.abstraction.quotient_by_partition`
+(kept on by :func:`lump`) would reject such a partition loudly.
+
+The pre-vectorization pure-Python implementation is retained as
+:func:`_coarsest_lumping_reference` for golden-parity tests and as the
+measured baseline of ``benchmarks/test_bench_reduce.py``.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
+from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
+from scipy import sparse
 
 from ...dtmc.chain import DTMC
 from .abstraction import QuotientResult, quotient_by_partition
 
-__all__ = ["initial_partition", "coarsest_lumping", "lump"]
+__all__ = [
+    "RefinementStats",
+    "STRATEGIES",
+    "initial_partition",
+    "coarsest_lumping",
+    "coarsest_lumping_with_stats",
+    "lump",
+]
 
+#: Refinement strategies accepted by :func:`coarsest_lumping`.
+STRATEGIES = ("rounds", "splitters")
+
+
+@dataclass(frozen=True)
+class RefinementStats:
+    """Provenance of one partition-refinement run.
+
+    ``rounds`` counts refinement iterations (signature passes);
+    ``splitters`` counts the splitter blocks processed across all
+    iterations (in ``"rounds"`` mode: every block, every round).
+    """
+
+    strategy: str
+    rounds: int
+    splitters: int
+    initial_blocks: int
+    final_blocks: int
+
+
+# ----------------------------------------------------------------------
+# Vectorized kernel: renumbering, signature rounding, row grouping
+# ----------------------------------------------------------------------
+
+def _group_by_keys(keys: List[np.ndarray]) -> Tuple[np.ndarray, np.ndarray]:
+    """Group equal key tuples into canonical first-seen-numbered ids.
+
+    ``keys`` lists the key components, most significant first.  Returns
+    ``(group_of, representatives)`` where ``group_of[i]`` is the group
+    id of element ``i`` (contiguous ``0..G-1``, numbered by first
+    occurrence) and ``representatives[g]`` is the lowest element index
+    in group ``g``.  One lexsort plus boundary scans — ``O(n log n)``
+    with no per-element Python and no void-dtype copies.
+    """
+    n = keys[0].size
+    if n == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    order = np.lexsort(tuple(reversed(keys)))
+    boundary = np.zeros(n, dtype=bool)
+    boundary[0] = True
+    for key in keys:
+        key_sorted = key[order]
+        boundary[1:] |= key_sorted[1:] != key_sorted[:-1]
+    gid_sorted = np.cumsum(boundary) - 1
+    num_groups = int(gid_sorted[-1]) + 1
+    starts = np.flatnonzero(boundary)
+    first_occurrence = np.minimum.reduceat(order, starts)
+    rank = np.empty(num_groups, dtype=np.int64)
+    rank[np.argsort(first_occurrence, kind="stable")] = np.arange(num_groups)
+    group_of = np.empty(n, dtype=np.int64)
+    group_of[order] = rank[gid_sorted]
+    representatives = np.empty(num_groups, dtype=np.int64)
+    representatives[rank] = first_occurrence
+    return group_of, representatives
+
+
+def _round_signature(sig: sparse.spmatrix, decimals: int) -> sparse.csr_matrix:
+    """Canonicalize a signature matrix: CSR, sorted, rounded, no zeros.
+
+    Adding ``0.0`` after rounding normalizes ``-0.0`` so equal values
+    always share a bit pattern, and entries that round to zero are
+    dropped entirely — "no measurable mass into that block".
+    """
+    sig = sig.tocsr()
+    sig.sum_duplicates()
+    sig.sort_indices()
+    sig.data = np.round(sig.data, decimals) + 0.0
+    sig.eliminate_zeros()
+    return sig
+
+
+_HASH_SALTS = (np.uint64(0x9E3779B97F4A7C15), np.uint64(0xC2B2AE3D27D4EB4F))
+_HASH_MULT1 = np.uint64(0xFF51AFD7ED558CCD)
+_HASH_MULT2 = np.uint64(0xC4CEB9FE1A85EC53)
+_SHIFT33 = np.uint64(33)
+
+
+def _mix64(x: np.ndarray) -> np.ndarray:
+    """SplitMix64-style avalanche over a uint64 array (mod 2^64)."""
+    x = x ^ (x >> _SHIFT33)
+    x = x * _HASH_MULT1
+    x = x ^ (x >> _SHIFT33)
+    x = x * _HASH_MULT2
+    return x ^ (x >> _SHIFT33)
+
+
+def _row_fingerprints(sig: sparse.csr_matrix) -> List[np.ndarray]:
+    """Two independent 64-bit content fingerprints per CSR row.
+
+    Each entry ``(column, value)`` is mixed into a uint64 and the row
+    fingerprint is the segment sum (mod 2^64, via cumsum differences —
+    ``O(nnz)``, no per-row Python).
+    """
+    indptr = sig.indptr
+    bits = np.ascontiguousarray(sig.data, dtype=np.float64).view(np.uint64)
+    cols = sig.indices.astype(np.uint64)
+    fingerprints = []
+    for salt in _HASH_SALTS:
+        entry = _mix64(bits ^ _mix64(cols + salt))
+        cumulative = np.zeros(entry.size + 1, dtype=np.uint64)
+        np.cumsum(entry, out=cumulative[1:])
+        fingerprints.append(
+            (cumulative[indptr[1:]] - cumulative[indptr[:-1]]).view(np.int64)
+        )
+    return fingerprints
+
+
+def _split_by_signature(
+    block_of: np.ndarray, sig: sparse.csr_matrix
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Split each block by its members' signature rows.
+
+    Returns ``(new_block_of, parent_of)``: canonically-renumbered new
+    block ids keyed on ``(old block, signature row)``, plus each new
+    block's parent in the old partition.
+    """
+    if block_of.size == 0:
+        return block_of, block_of
+    h1, h2 = _row_fingerprints(sig)
+    nnz = np.diff(sig.indptr).astype(np.int64)
+    new_block_of, representatives = _group_by_keys([block_of, nnz, h1, h2])
+    return new_block_of, block_of[representatives]
+
+
+def _indicator(block_of: np.ndarray, num_blocks: int) -> sparse.csr_matrix:
+    n = block_of.shape[0]
+    return sparse.csr_matrix(
+        (np.ones(n), (np.arange(n), block_of)), shape=(n, num_blocks)
+    )
+
+
+# ----------------------------------------------------------------------
+# Initial partition
+# ----------------------------------------------------------------------
 
 def initial_partition(
     chain: DTMC, respect: Optional[Sequence[str]] = None, decimals: int = 10
@@ -39,7 +211,214 @@ def initial_partition(
 
     ``respect`` restricts which labels/rewards matter (default: all of
     them); properties over other labels are *not* preserved by the
-    resulting lumping.
+    resulting lumping.  Duplicate names in ``respect`` are rejected, and
+    unknown names raise a :class:`KeyError` listing what the chain
+    actually carries.
+    """
+    n = chain.num_states
+    names = list(respect) if respect is not None else (
+        sorted(chain.labels) + sorted(chain.rewards)
+    )
+    if respect is not None:
+        duplicates = sorted({name for name in names if names.count(name) > 1})
+        if duplicates:
+            raise ValueError(
+                f"duplicate names in respect: {duplicates};"
+                f" each label/reward may be listed at most once"
+            )
+    columns: List[np.ndarray] = []
+    for name in names:
+        if name in chain.labels:
+            columns.append(chain.labels[name].astype(np.float64))
+        elif name in chain.rewards:
+            columns.append(np.round(chain.rewards[name], decimals) + 0.0)
+        else:
+            raise KeyError(
+                f"{name!r} is neither a label nor a reward of this chain;"
+                f" available labels: {sorted(chain.labels)},"
+                f" rewards: {sorted(chain.rewards)}"
+            )
+    if n == 0 or not columns:
+        return np.zeros(n, dtype=np.int64)
+    return _group_by_keys(columns)[0]
+
+
+# ----------------------------------------------------------------------
+# Refinement strategies
+# ----------------------------------------------------------------------
+
+def _refine_rounds(
+    matrix: sparse.csr_matrix,
+    block_of: np.ndarray,
+    decimals: int,
+    max_rounds: Optional[int],
+) -> Tuple[np.ndarray, int, int]:
+    """Global fixpoint: signatures against *all* blocks, every round."""
+    rounds = 0
+    splitters = 0
+    while True:
+        rounds += 1
+        if max_rounds is not None and rounds > max_rounds:
+            raise RuntimeError("partition refinement exceeded max_rounds")
+        num_blocks = int(block_of.max()) + 1
+        splitters += num_blocks
+        sig = _round_signature(matrix @ _indicator(block_of, num_blocks), decimals)
+        new_block_of, _ = _split_by_signature(block_of, sig)
+        if int(new_block_of.max()) + 1 == num_blocks:
+            return block_of, rounds, splitters
+        block_of = new_block_of
+
+
+def _refine_splitters(
+    matrix: sparse.csr_matrix,
+    block_of: np.ndarray,
+    decimals: int,
+    max_rounds: Optional[int],
+) -> Tuple[np.ndarray, int, int]:
+    """Derisavi-style worklist: signatures only into recently split blocks.
+
+    All blocks start dirty.  Each iteration batch-processes the whole
+    dirty set ``C``: signatures are the columns of ``P`` restricted to
+    the member states of ``C`` (a CSC column slice), aggregated per
+    splitter block, and blocks are split on ``(old block, signature)``.
+    Children of any block that split become dirty; unsplit blocks are
+    stable with respect to every clean block, so the loop ends exactly
+    when the partition is strongly lumpable.
+    """
+    csc: Optional[sparse.csc_matrix] = None
+    num_blocks = int(block_of.max()) + 1
+    dirty = np.ones(num_blocks, dtype=bool)
+    rounds = 0
+    splitters = 0
+    while dirty.any():
+        rounds += 1
+        if max_rounds is not None and rounds > max_rounds:
+            raise RuntimeError("partition refinement exceeded max_rounds")
+        splitter_ids = np.flatnonzero(dirty)
+        splitters += splitter_ids.size
+        if splitter_ids.size == num_blocks:
+            # Everything is dirty (always the first round): the column
+            # restriction is the identity, so use the cheaper full product.
+            sig = matrix @ _indicator(block_of, num_blocks)
+        else:
+            if csc is None:
+                csc = matrix.tocsc()
+            members = np.flatnonzero(dirty[block_of])
+            compact = np.full(num_blocks, -1, dtype=np.int64)
+            compact[splitter_ids] = np.arange(splitter_ids.size)
+            sub_indicator = sparse.csr_matrix(
+                (
+                    np.ones(members.size),
+                    (np.arange(members.size), compact[block_of[members]]),
+                ),
+                shape=(members.size, splitter_ids.size),
+            )
+            sig = csc[:, members] @ sub_indicator
+        new_block_of, parent_of = _split_by_signature(
+            block_of, _round_signature(sig, decimals)
+        )
+        new_num_blocks = int(new_block_of.max()) + 1
+        if new_num_blocks == num_blocks:
+            dirty = np.zeros(num_blocks, dtype=bool)
+            continue
+        # A new block is dirty iff its parent split into several pieces.
+        split_parent = np.bincount(parent_of, minlength=num_blocks) > 1
+        dirty = split_parent[parent_of]
+        block_of = new_block_of
+        num_blocks = new_num_blocks
+    return block_of, rounds, splitters
+
+
+def coarsest_lumping_with_stats(
+    chain: DTMC,
+    respect: Optional[Sequence[str]] = None,
+    decimals: int = 10,
+    max_rounds: Optional[int] = None,
+    strategy: str = "splitters",
+) -> Tuple[np.ndarray, RefinementStats]:
+    """Coarsest lumping plus :class:`RefinementStats` provenance."""
+    if strategy not in STRATEGIES:
+        raise ValueError(
+            f"unknown refinement strategy {strategy!r};"
+            f" choose from {', '.join(STRATEGIES)}"
+        )
+    block_of = initial_partition(chain, respect, decimals)
+    if chain.num_states == 0:
+        return block_of, RefinementStats(strategy, 0, 0, 0, 0)
+    initial_blocks = int(block_of.max()) + 1
+    refine = _refine_rounds if strategy == "rounds" else _refine_splitters
+    block_of, rounds, splitters = refine(
+        chain.transition_matrix, block_of, decimals, max_rounds
+    )
+    return block_of, RefinementStats(
+        strategy=strategy,
+        rounds=rounds,
+        splitters=splitters,
+        initial_blocks=initial_blocks,
+        final_blocks=int(block_of.max()) + 1,
+    )
+
+
+def coarsest_lumping(
+    chain: DTMC,
+    respect: Optional[Sequence[str]] = None,
+    decimals: int = 10,
+    max_rounds: Optional[int] = None,
+    strategy: str = "splitters",
+) -> np.ndarray:
+    """Coarsest strongly-lumpable partition respecting labels/rewards.
+
+    Returns ``block_of`` suitable for
+    :func:`~repro.core.reductions.abstraction.quotient_by_partition`.
+    ``strategy`` picks the refinement schedule (see the module docs);
+    both strategies return the same canonical partition.
+    """
+    block_of, _ = coarsest_lumping_with_stats(
+        chain, respect=respect, decimals=decimals,
+        max_rounds=max_rounds, strategy=strategy,
+    )
+    return block_of
+
+
+def lump(
+    chain: DTMC,
+    respect: Optional[Sequence[str]] = None,
+    decimals: int = 10,
+    strategy: str = "splitters",
+) -> QuotientResult:
+    """Lump ``chain`` to its smallest equivalent quotient.
+
+    One-call convenience: computes the coarsest lumping and quotients
+    by it (verification is cheap and kept on as a safety net).  The
+    returned :class:`~repro.core.reductions.abstraction.QuotientResult`
+    carries the refinement provenance on ``.refinement``.
+    """
+    block_of, stats = coarsest_lumping_with_stats(
+        chain, respect=respect, decimals=decimals, strategy=strategy
+    )
+    atol = 10.0 ** (-decimals) * 10
+    result = quotient_by_partition(chain, block_of, atol=atol, respect=respect)
+    result.refinement = stats
+    return result
+
+
+# ----------------------------------------------------------------------
+# Pure-Python reference (golden baseline)
+# ----------------------------------------------------------------------
+
+def _coarsest_lumping_reference(
+    chain: DTMC,
+    respect: Optional[Sequence[str]] = None,
+    decimals: int = 10,
+    max_rounds: Optional[int] = None,
+) -> np.ndarray:
+    """Per-state pure-Python refinement, kept as the golden reference.
+
+    Semantically identical to :func:`coarsest_lumping` (same rounding,
+    same dropped-zero convention, same canonical numbering) but built
+    from per-state dicts — the pre-vectorization implementation.  Used
+    by the parity tests and measured as the baseline in
+    ``benchmarks/test_bench_reduce.py``; not part of the public API.
     """
     n = chain.num_states
     signatures: List[Tuple[Hashable, ...]] = [() for _ in range(n)]
@@ -63,74 +442,32 @@ def initial_partition(
     block_of = np.empty(n, dtype=np.int64)
     for i, sig in enumerate(signatures):
         block_of[i] = block_ids.setdefault(sig, len(block_ids))
-    return block_of
 
-
-def _renumber(block_of: np.ndarray) -> np.ndarray:
-    """Renumber block ids to contiguous 0..k-1 preserving first-seen order."""
-    mapping: Dict[int, int] = {}
-    out = np.empty_like(block_of)
-    for i, b in enumerate(block_of):
-        out[i] = mapping.setdefault(int(b), len(mapping))
-    return out
-
-
-def coarsest_lumping(
-    chain: DTMC,
-    respect: Optional[Sequence[str]] = None,
-    decimals: int = 10,
-    max_rounds: Optional[int] = None,
-) -> np.ndarray:
-    """Coarsest strongly-lumpable partition respecting labels/rewards.
-
-    Returns ``block_of`` suitable for
-    :func:`~repro.core.reductions.abstraction.quotient_by_partition`.
-    """
     matrix = chain.transition_matrix
-    n = chain.num_states
-    block_of = _renumber(initial_partition(chain, respect, decimals))
-
     rounds = 0
-    stable = False
-    while not stable:
-        stable = True
+    while True:
         rounds += 1
         if max_rounds is not None and rounds > max_rounds:
             raise RuntimeError("partition refinement exceeded max_rounds")
-        num_blocks = int(block_of.max()) + 1
-        # Signature of each state: its probability into every current
-        # block (sparse dict), rounded for robust comparison.
-        signatures: List[Tuple] = []
+        num_blocks = int(block_of.max()) + 1 if n else 0
         indptr, indices, data = matrix.indptr, matrix.indices, matrix.data
+        row_signatures: List[Tuple] = []
         for s in range(n):
             row: Dict[int, float] = defaultdict(float)
             for k in range(indptr[s], indptr[s + 1]):
                 row[int(block_of[indices[k]])] += float(data[k])
-            signatures.append(
-                tuple(sorted((b, round(p, decimals)) for b, p in row.items()))
+            row_signatures.append(
+                tuple(sorted(
+                    (b, rounded)
+                    for b, p in row.items()
+                    if (rounded := round(p, decimals)) != 0.0
+                ))
             )
-        # Split each block by signature.
         new_ids: Dict[Tuple[int, Tuple], int] = {}
         new_block_of = np.empty(n, dtype=np.int64)
         for s in range(n):
-            key = (int(block_of[s]), signatures[s])
+            key = (int(block_of[s]), row_signatures[s])
             new_block_of[s] = new_ids.setdefault(key, len(new_ids))
-        if len(new_ids) != num_blocks:
-            stable = False
-        block_of = _renumber(new_block_of)
-    return block_of
-
-
-def lump(
-    chain: DTMC,
-    respect: Optional[Sequence[str]] = None,
-    decimals: int = 10,
-) -> QuotientResult:
-    """Lump ``chain`` to its smallest equivalent quotient.
-
-    One-call convenience: computes the coarsest lumping and quotients
-    by it (verification is cheap and kept on as a safety net).
-    """
-    block_of = coarsest_lumping(chain, respect=respect, decimals=decimals)
-    atol = 10.0 ** (-decimals) * 10
-    return quotient_by_partition(chain, block_of, atol=atol, respect=respect)
+        if len(new_ids) == num_blocks:
+            return block_of
+        block_of = new_block_of

@@ -95,10 +95,13 @@ class DTMC:
             )
         if np.any(self.initial_distribution < -ROW_SUM_TOLERANCE):
             raise DTMCValidationError("initial distribution has negative entries")
+        # A 0-state chain (e.g. the quotient of an empty chain) carries
+        # no probability mass at all; otherwise the mass must be 1.
+        expected = 0.0 if n == 0 else 1.0
         total = float(self.initial_distribution.sum())
-        if abs(total - 1.0) > ROW_SUM_TOLERANCE:
+        if abs(total - expected) > ROW_SUM_TOLERANCE:
             raise DTMCValidationError(
-                f"initial distribution sums to {total}, expected 1.0"
+                f"initial distribution sums to {total}, expected {expected}"
             )
         if self.transition_matrix.nnz:
             data = self.transition_matrix.data

@@ -53,8 +53,11 @@ REDUCTIONS = ("symmetry", "abstraction", "lumping", "none")
 
 #: Full models at or below this state count are considered buildable
 #: when a family needs one only for counting (families may still refuse
-#: to provide ``build_full`` at any size).
-FULL_BUILD_LIMIT = 50_000
+#: to provide ``build_full`` at any size).  Raised from 50k after the
+#: sparse-algebra rewrite of the reduction layer: the coarsest-lumping
+#: fallback (refine + verify + quotient) now handles 10^5+-state chains
+#: in seconds, so half-million-state full models are worth building.
+FULL_BUILD_LIMIT = 500_000
 
 
 class ReductionSoundnessError(ZooError):
@@ -139,6 +142,10 @@ class BuiltScenario:
     full_chain: Optional[DTMC] = None
     respect: Tuple[str, ...] = ("flag",)
     default_property: str = ""
+    #: Free-form provenance; the lumping fallback records its partition
+    #: refinement here (``refine_strategy``, ``refine_rounds``,
+    #: ``refine_splitters``, ``refine_initial_blocks``,
+    #: ``refine_final_blocks``).
     extra: Dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -162,11 +169,18 @@ class BuiltScenario:
         factor_s = f" ({factor:.1f}x)" if factor is not None else ""
         full_s = "?" if self.full_states is None else str(self.full_states)
         verified_s = "" if self.verified is None else f" verified={self.verified}"
+        refine_s = ""
+        if "refine_rounds" in self.extra:
+            refine_s = (
+                f" refine({self.extra['refine_strategy']}:"
+                f" {self.extra['refine_rounds']} rounds,"
+                f" {self.extra['refine_splitters']} splitters)"
+            )
         return (
             f"{self.spec.describe()}: {full_s} -> {self.reduced_states}"
             f" states{factor_s} via {self.reduction}"
             f" [build {self.build_seconds:.3f}s,"
-            f" reduce {self.reduce_seconds:.3f}s]{verified_s}"
+            f" reduce {self.reduce_seconds:.3f}s]{verified_s}{refine_s}"
         )
 
 
@@ -236,6 +250,7 @@ def build(
     reduction = fb.reduction
     reduced_result: Optional[ExplorationResult] = None
     reduce_seconds = 0.0
+    extra: Dict[str, Any] = {}
     if reduce:
         if fb.build_reduced is not None:
             t0 = time.perf_counter()
@@ -248,6 +263,15 @@ def build(
             reduce_seconds = time.perf_counter() - t0
             reduction = "lumping"
             chain = quotient.chain
+            if quotient.refinement is not None:
+                stats = quotient.refinement
+                extra.update(
+                    refine_strategy=stats.strategy,
+                    refine_rounds=stats.rounds,
+                    refine_splitters=stats.splitters,
+                    refine_initial_blocks=stats.initial_blocks,
+                    refine_final_blocks=stats.final_blocks,
+                )
         else:
             reduce_seconds = 0.0
     build_seconds = time.perf_counter() - build_start - reduce_seconds
@@ -297,4 +321,5 @@ def build(
         full_chain=full_result.chain if full_result is not None else None,
         respect=fb.respect,
         default_property=fam.default_property,
+        extra=extra,
     )

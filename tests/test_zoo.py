@@ -20,6 +20,7 @@ from repro.zoo import (
     UnknownFamilyError,
     ZooError,
 )
+from repro.zoo import pipeline
 from repro.zoo.cli import main as zoo_main
 from repro.zoo.families import BUILTIN_FAMILIES
 
@@ -128,6 +129,21 @@ class TestPipeline:
         assert scenario.reduced_states == 8
         assert scenario.reduction == "lumping"
         assert scenario.reduce_seconds > 0.0
+
+    def test_full_build_limit_covers_lumping_scale(self):
+        # The vectorized reduction engine handles 10^5+-state fallbacks;
+        # the pipeline's full-model ceiling must not regress below that.
+        assert pipeline.FULL_BUILD_LIMIT >= 500_000
+
+    def test_large_random_sparse_through_lumping_fallback(self):
+        # 20k states through build + refine + verified quotient — the
+        # (scaled-down) shape of the CI smoke's 10^5-state scenario.
+        scenario = zoo.build(
+            "random-sparse", {"n": 20_000, "num_blocks": 1000, "degree": 3}
+        )
+        assert scenario.reduction == "lumping"
+        assert scenario.reduced_states == 1000
+        assert scenario.extra["refine_final_blocks"] == 1000
 
     def test_mimo_reduction_factor_and_counts(self):
         scenario = zoo.build("mimo-1xN", keep_full=True)
