@@ -38,6 +38,8 @@ Subpackages
 ``repro.mimo``     — MIMO ML detector case study (Section IV-B)
 ``repro.sim``      — Monte-Carlo baseline with confidence intervals
 ``repro.smc``      — statistical model checking (Hoeffding, SPRT)
+``repro.zoo``      — scenario model zoo + sweep/survey CLI
+``repro.store``    — persistent guarantee store (sqlite result cache)
 """
 
 from .core import Guarantee, PerformanceAnalyzer
@@ -54,8 +56,10 @@ from .engine import (
 from .pctl import check, parse_formula
 from .smc import smc_decide, smc_estimate
 from . import zoo
+from . import store
+from .store import ResultStore
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Guarantee",
@@ -76,5 +80,7 @@ __all__ = [
     "smc_decide",
     "smc_estimate",
     "zoo",
+    "store",
+    "ResultStore",
     "__version__",
 ]

@@ -17,6 +17,12 @@ timed, error-capturing results:
 most time in scipy, which releases the GIL), ``"process"`` (full
 isolation; the sweep function must be picklable), or ``"serial"``
 (in-process, deterministic, used by the tests and for debugging).
+The process executor is *sharded*: the point grid is chunked into
+contiguous shards (``shard_size`` points each) so worker dispatch and
+pickling are amortized across a shard, and the ordered merge of shard
+results is bit-identical to the serial path — per-point seed streams
+are spawned by grid index, never by worker, so shards are
+embarrassingly mergeable.
 
 :func:`sweep_check` is the property-checking specialization: one pCTL
 formula evaluated across a grid of models with a selectable checking
@@ -30,10 +36,12 @@ from __future__ import annotations
 
 import functools
 import itertools
+import json
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
+from dataclasses import replace as dataclass_replace
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
@@ -67,15 +75,24 @@ class SweepResult:
     value:
         The sweep function's return value (``None`` if it raised).
     seconds:
-        Wall-clock time of this point alone.
+        Wall-clock time of this point alone (the *original* compute
+        time when the result was served from a store).
     error:
         ``"ExcType: message"`` when the point failed, else ``None``.
+    cached:
+        True when the value came out of a :class:`repro.store.ResultStore`
+        instead of being recomputed.
+    label:
+        Free-form caller annotation (e.g. the zoo family name a survey
+        row belongs to) — never written by the sweep runner itself.
     """
 
     point: Any
     value: Any
     seconds: float
     error: Optional[str] = None
+    cached: bool = False
+    label: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -109,6 +126,25 @@ def _run_point(fn: Callable[[Any], Any], point: Any) -> SweepResult:
     )
 
 
+def _run_shard(fn: Callable[[Any], Any], shard: Sequence[Any]) -> List[SweepResult]:
+    """One process-executor work unit: a contiguous slice of points."""
+    return [_run_point(fn, point) for point in shard]
+
+
+def _shard(points: Sequence[Any], workers: int, shard_size: Optional[int]):
+    """Chunk ``points`` into contiguous shards for the process pool.
+
+    The default shard size targets four shards per worker — large
+    enough to amortize pickling and dispatch, small enough that a slow
+    shard cannot serialize the tail of the sweep.
+    """
+    if shard_size is None:
+        shard_size = max(1, -(-len(points) // (4 * workers)))
+    if shard_size < 1:
+        raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+    return [points[i : i + shard_size] for i in range(0, len(points), shard_size)]
+
+
 def sweep(
     fn: Callable[[Any], Any],
     points: Sequence[Any],
@@ -116,6 +152,7 @@ def sweep(
     executor: str = "thread",
     max_workers: Optional[int] = None,
     on_error: str = "capture",
+    shard_size: Optional[int] = None,
 ) -> List[SweepResult]:
     """Evaluate ``fn`` on every point, fanning across workers.
 
@@ -124,6 +161,12 @@ def sweep(
     yields a :class:`SweepResult` with ``error`` set and the sweep
     continues; ``on_error="raise"`` re-raises the first failure after
     the pool drains.
+
+    ``executor="process"`` fans *shards* (contiguous chunks of
+    ``shard_size`` points, see :func:`_shard`) through a
+    :class:`~concurrent.futures.ProcessPoolExecutor` and merges the
+    ordered shard results; ``shard_size`` is ignored by the other
+    executors, where per-point submission is already cheap.
     """
     if executor not in _EXECUTORS:
         raise ValueError(
@@ -134,12 +177,17 @@ def sweep(
     points = list(points)
     if executor == "serial" or len(points) <= 1:
         results = [_run_point(fn, point) for point in points]
-    else:
-        pool_cls = (
-            ThreadPoolExecutor if executor == "thread" else ProcessPoolExecutor
-        )
+    elif executor == "process":
         workers = max_workers or min(len(points), os.cpu_count() or 1)
-        with pool_cls(max_workers=workers) as pool:
+        shards = _shard(points, workers, shard_size)
+        with ProcessPoolExecutor(max_workers=min(workers, len(shards))) as pool:
+            futures = [pool.submit(_run_shard, fn, shard) for shard in shards]
+            results = [
+                result for future in futures for result in future.result()
+            ]
+    else:
+        workers = max_workers or min(len(points), os.cpu_count() or 1)
+        with ThreadPoolExecutor(max_workers=workers) as pool:
             futures = [pool.submit(_run_point, fn, point) for point in points]
             results = [future.result() for future in futures]
     if on_error == "raise":
@@ -191,6 +239,17 @@ def _check_point(
     )
 
 
+def _canonical_point(point: Any) -> str:
+    """Canonical text identity of one point, for duplicate detection.
+
+    Mappings are keyed order-insensitively; objects JSON cannot encode
+    fall back to ``repr`` — identical reprs are treated as the same
+    point, which is exact for the literal-valued parameter dicts grids
+    are made of.
+    """
+    return json.dumps(point, sort_keys=True, default=repr)
+
+
 def sweep_check(
     build: Callable[[Any], Any],
     points: Sequence[Any],
@@ -203,6 +262,10 @@ def sweep_check(
     executor: str = "thread",
     max_workers: Optional[int] = None,
     on_error: str = "capture",
+    shard_size: Optional[int] = None,
+    store=None,
+    store_key: Optional[Callable[[Any], Any]] = None,
+    store_extra: Optional[Dict[str, Any]] = None,
 ) -> List[SweepResult]:
     """Check one pCTL ``formula`` across a grid of models.
 
@@ -224,11 +287,28 @@ def sweep_check(
         :class:`~repro.smc.SprtResult`.
 
     Statistical points draw from independent, deterministic seed
-    streams spawned from ``smc.seed``, so results are reproducible and
-    executor-independent.  Only bounded path formulas are supported by
-    the statistical backends — exactly the trade the paper discusses:
-    scenario grids can swap exhaustive guarantees for sampled ones with
-    explicit (epsilon, delta) error bounds when throughput matters.
+    streams spawned from ``smc.seed`` *by grid index*, so results are
+    reproducible and executor-independent.  Only bounded path formulas
+    are supported by the statistical backends — exactly the trade the
+    paper discusses: scenario grids can swap exhaustive guarantees for
+    sampled ones with explicit (epsilon, delta) error bounds when
+    throughput matters.
+
+    Identical points (same canonical parameter dict) within one call
+    are solved once: duplicates reuse the first occurrence's result
+    (and, for statistical backends, its seed stream).
+
+    With ``store=`` (a :class:`repro.store.ResultStore`) the sweep is
+    read-through cached: each distinct point is first looked up under
+    ``(store_key(point), formula, backend, config fingerprint)``; hits
+    come back with ``cached=True`` and misses are computed as usual and
+    written back (successes only — failures are always retried).
+    ``store_key`` maps a point to its JSON-able scenario identity
+    (default: the point itself) and ``store_extra`` is provenance
+    merged into every banked row (``store_extra["family"]`` also fills
+    the store's queryable ``family`` column).  Store traffic happens in
+    the submitting process only, so neither ``store`` nor ``store_key``
+    needs to be picklable for ``executor="process"``.
     """
     if backend not in CHECK_BACKENDS:
         raise ValueError(
@@ -239,6 +319,42 @@ def sweep_check(
     points = list(points)
     config = SmcConfig.coerce(smc)
     seeds = np.random.SeedSequence(config.seed).spawn(len(points))
+
+    # Deduplicate: each distinct canonical point is solved exactly once,
+    # at its first grid index (which also pins its spawned seed stream).
+    first_index: Dict[str, int] = {}
+    canon: List[str] = []
+    for index, point in enumerate(points):
+        key = _canonical_point(point)
+        canon.append(key)
+        first_index.setdefault(key, index)
+    unique = sorted(set(first_index.values()))
+
+    # Read-through: look distinct points up in the store before solving.
+    by_index: Dict[int, SweepResult] = {}
+    fingerprint = None
+    scenario_ids: Dict[int, Any] = {}
+    if store is not None:
+        from ..store import check_fingerprint  # deferred: avoid cycle
+
+        fingerprint = check_fingerprint(
+            backend, smc=config, solver=solver, theta=theta
+        )
+        key_of = store_key if store_key is not None else lambda point: point
+        scenario_ids = {index: key_of(points[index]) for index in unique}
+        found = store.get_many(
+            [(scenario_ids[i], formula, backend, fingerprint) for i in unique]
+        )
+        for index, row in zip(unique, found):
+            if row is not None:
+                by_index[index] = SweepResult(
+                    point=points[index],
+                    value=row.value,
+                    seconds=row.seconds,
+                    cached=True,
+                )
+
+    misses = [index for index in unique if index not in by_index]
     # partial over a module-level runner (not a closure) so
     # executor="process" can pickle the sweep function.
     run = functools.partial(
@@ -251,15 +367,41 @@ def sweep_check(
         solver=solver,
         seeds=seeds,
     )
-    results = sweep(
+    computed = sweep(
         run,
-        list(enumerate(points)),
+        [(index, points[index]) for index in misses],
         executor=executor,
         max_workers=max_workers,
-        on_error=on_error,
+        on_error="capture",
+        shard_size=shard_size,
     )
-    for result in results:  # unwrap the (index, point) plumbing
-        result.point = result.point[1]
+    for index, result in zip(misses, computed):
+        result.point = result.point[1]  # unwrap the (index, point) plumbing
+        by_index[index] = result
+        if store is not None and result.ok:
+            store.put(
+                scenario_ids[index],
+                formula,
+                result.value,
+                backend=backend,
+                config=fingerprint,
+                seconds=result.seconds,
+                extra=store_extra,
+            )
+
+    results = []
+    for index, point in enumerate(points):
+        source = by_index[first_index[canon[index]]]
+        if source.point is point or first_index[canon[index]] == index:
+            results.append(source)
+        else:  # duplicate point: share the solve, keep the caller's object
+            results.append(dataclass_replace(source, point=point))
+    if on_error == "raise":
+        for result in results:
+            if not result.ok:
+                raise RuntimeError(
+                    f"sweep point {result.point!r} failed: {result.error}"
+                )
     return results
 
 

@@ -1,0 +1,620 @@
+"""Persistent guarantee store: sqlite-backed check-result caching.
+
+The paper's pitch is *cheap, repeatable* statistical guarantees — and
+repeatable means a second query for the same guarantee should be a
+cache hit, not a solve.  :class:`ResultStore` is that cache: one
+sqlite file (stdlib only) holding every checked sweep point with full
+provenance, shared safely between concurrent writer threads and
+processes (WAL journal + upsert writes).
+
+Cache-key contract
+------------------
+A stored row is addressed by the SHA-256 of the canonical JSON of::
+
+    [salt, scenario, formula, backend, config]
+
+* ``salt`` — the code/version salt (default ``repro/<version>/store-v<schema>``);
+  bumping the package version invalidates every cached result.
+* ``scenario`` — the JSON-able scenario identity.  ``zoo.sweep`` uses
+  ``ScenarioSpec.key()`` over the *fully merged* parameters plus the
+  ``reduce`` flag, so ``points=[{}]`` and the spelled-out defaults hit
+  the same row.
+* ``formula`` — the pCTL property string, verbatim.
+* ``backend`` — ``"exact"`` / ``"apmc"`` / ``"sprt"``.
+* ``config`` — the backend fingerprint from :func:`check_fingerprint`:
+  solver method + tolerances for exact runs, ``(epsilon, delta, batch,
+  seed)`` for APMC, ``(theta, half_width, alpha, beta, seed)`` for
+  SPRT.  Any change — including the seed — is a different key.
+
+Values round-trip exactly: floats are stored via JSON's repr-based
+encoding (bit-exact), and the result dataclasses (:class:`ApmcResult`,
+:class:`SprtResult`, :class:`~repro.core.Guarantee`) are encoded
+field-by-field and rebuilt on read, so a warm sweep returns objects
+equal to the cold run's.
+
+The store pickles by *location* (path, salt, timeout), not by
+connection: each unpickled copy — e.g. one per
+``ProcessPoolExecutor`` worker in a sharded survey — reopens its own
+connection lazily, which is exactly the safe way to share sqlite
+across processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+import threading
+import time
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.analyzer import Guarantee
+from ..engine.config import SmcConfig, SolverConfig
+from ..smc.hoeffding import ApmcResult
+from ..smc.sprt import SprtResult
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "StoreError",
+    "StoredResult",
+    "StoreStats",
+    "ResultStore",
+    "canonical",
+    "make_key",
+    "check_fingerprint",
+    "read_through",
+]
+
+#: Bumped whenever the row schema or the value encoding changes; part
+#: of the default salt, so stale stores never serve mis-shaped rows.
+SCHEMA_VERSION = 1
+
+
+class StoreError(Exception):
+    """A result-store operation failed (bad key, bad payload, ...)."""
+
+
+def _default_salt() -> str:
+    from .. import __version__  # deferred: repro/__init__ imports this module
+
+    return f"repro/{__version__}/store-v{SCHEMA_VERSION}"
+
+
+def _json_default(obj: Any) -> Any:
+    # numpy scalars/arrays appear in grid points and check values; they
+    # canonicalize to their Python equivalents.  Anything else is an
+    # error — a repr() fallback would silently change between processes
+    # and turn every warm lookup into a miss.
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - numpy is a hard dep
+        np = None
+    if np is not None:
+        if isinstance(obj, np.integer):
+            return int(obj)
+        if isinstance(obj, np.floating):
+            return float(obj)
+        if isinstance(obj, np.bool_):
+            return bool(obj)
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+    raise StoreError(
+        f"cannot canonicalize {type(obj).__name__!r} for a store key;"
+        " scenario identities and configs must be JSON-able"
+    )
+
+
+def canonical(obj: Any) -> str:
+    """Deterministic JSON text of ``obj`` (sorted keys, no whitespace)."""
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), default=_json_default
+    )
+
+
+def make_key(
+    salt: str, scenario: Any, formula: str, backend: str, config: Any
+) -> str:
+    """SHA-256 hex digest of the canonical cache-key tuple."""
+    text = canonical([salt, scenario, formula, backend, config])
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def check_fingerprint(
+    backend: str,
+    *,
+    smc: Optional[SmcConfig] = None,
+    solver: Any = None,
+    theta: Optional[float] = None,
+) -> Dict[str, Any]:
+    """The backend-config part of the cache key.
+
+    Exactly the knobs that change a checked number: the solver method
+    and tolerances for ``"exact"``, the Hoeffding accuracy + seed for
+    ``"apmc"``, the SPRT error rates + threshold + seed for ``"sprt"``.
+    """
+    if backend == "exact":
+        cfg = SolverConfig.coerce(solver)
+        return {
+            "backend": "exact",
+            "method": cfg.method,
+            "tolerance": cfg.tolerance,
+            "max_iterations": cfg.max_iterations,
+        }
+    cfg = SmcConfig.coerce(smc)
+    if backend == "apmc":
+        return {
+            "backend": "apmc",
+            "epsilon": cfg.epsilon,
+            "delta": cfg.delta,
+            "batch": cfg.batch,
+            "seed": cfg.seed,
+        }
+    if backend == "sprt":
+        return {
+            "backend": "sprt",
+            "theta": theta,
+            "half_width": cfg.half_width,
+            "alpha": cfg.alpha,
+            "beta": cfg.beta,
+            "seed": cfg.seed,
+        }
+    raise StoreError(f"unknown checking backend {backend!r}")
+
+
+# ----------------------------------------------------------------------
+# Value encoding: tagged JSON, dataclasses rebuilt field-by-field.
+# ----------------------------------------------------------------------
+
+#: Result dataclasses the store round-trips losslessly.
+_VALUE_TYPES: Dict[str, type] = {
+    "apmc": ApmcResult,
+    "sprt": SprtResult,
+    "guarantee": Guarantee,
+}
+
+
+def _encode_value(value: Any) -> str:
+    import numpy as np
+
+    if isinstance(value, np.integer):
+        value = int(value)
+    elif isinstance(value, np.floating):
+        value = float(value)
+    elif isinstance(value, np.bool_):
+        value = bool(value)
+    for tag, cls in _VALUE_TYPES.items():
+        if isinstance(value, cls):
+            return json.dumps({"kind": tag, "data": asdict(value)})
+    if value is None or isinstance(value, (bool, int, float, str, list, dict)):
+        return json.dumps({"kind": "json", "data": value})
+    raise StoreError(
+        f"cannot store a value of type {type(value).__name__!r};"
+        f" supported: json scalars/containers,"
+        f" {', '.join(c.__name__ for c in _VALUE_TYPES.values())}"
+    )
+
+
+def _decode_value(payload: str) -> Any:
+    wrapped = json.loads(payload)
+    kind = wrapped["kind"]
+    if kind == "json":
+        return wrapped["data"]
+    cls = _VALUE_TYPES.get(kind)
+    if cls is None:
+        raise StoreError(f"unknown stored value kind {kind!r}")
+    data = wrapped["data"]
+    names = {f.name for f in fields(cls)}
+    return cls(**{k: v for k, v in data.items() if k in names})
+
+
+@dataclass
+class StoredResult:
+    """One cached check result with its provenance."""
+
+    key: str
+    scenario: Any
+    family: Optional[str]
+    formula: str
+    backend: str
+    config: Any
+    value: Any
+    seconds: float
+    samples: int
+    extra: Dict[str, Any] = field(default_factory=dict)
+    created: float = 0.0
+    updated: float = 0.0
+    hits: int = 0
+
+
+@dataclass
+class StoreStats:
+    """Aggregate view of one store file (the ``store stats`` CLI)."""
+
+    path: str
+    salt: str
+    entries: int
+    families: Dict[str, int]
+    backends: Dict[str, int]
+    compute_seconds: float
+    total_hits: int
+    db_bytes: int
+
+    def describe(self) -> str:
+        fams = ", ".join(f"{k}={v}" for k, v in sorted(self.families.items()))
+        backs = ", ".join(f"{k}={v}" for k, v in sorted(self.backends.items()))
+        return (
+            f"store: {self.path} (salt {self.salt})\n"
+            f"entries: {self.entries}   hits served: {self.total_hits}\n"
+            f"families: {fams or '-'}\n"
+            f"backends: {backs or '-'}\n"
+            f"compute seconds banked: {self.compute_seconds:.3f}\n"
+            f"db size: {self.db_bytes / 1024:.1f} KiB"
+        )
+
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS results (
+    key      TEXT PRIMARY KEY,
+    scenario TEXT NOT NULL,
+    family   TEXT,
+    formula  TEXT NOT NULL,
+    backend  TEXT NOT NULL,
+    config   TEXT NOT NULL,
+    payload  TEXT NOT NULL,
+    seconds  REAL NOT NULL,
+    samples  INTEGER NOT NULL DEFAULT 0,
+    extra    TEXT NOT NULL DEFAULT '{}',
+    created  REAL NOT NULL,
+    updated  REAL NOT NULL,
+    hits     INTEGER NOT NULL DEFAULT 0
+);
+CREATE INDEX IF NOT EXISTS idx_results_family ON results (family);
+CREATE INDEX IF NOT EXISTS idx_results_backend ON results (backend);
+"""
+
+
+class ResultStore:
+    """Persistent, concurrency-safe cache of checked sweep results.
+
+    Parameters
+    ----------
+    path:
+        Filesystem path of the sqlite database (created on first use;
+        parent directories are not created).
+    salt:
+        Code/version salt mixed into every key; defaults to
+        ``repro/<version>/store-v<schema>``, so upgrading the package
+        or the store schema invalidates the cache wholesale.
+    timeout:
+        sqlite busy timeout in seconds — how long a writer waits for a
+        concurrent writer's transaction before giving up.
+
+    >>> import tempfile, os
+    >>> path = os.path.join(tempfile.mkdtemp(), "results.sqlite")
+    >>> store = ResultStore(path)
+    >>> key = store.put({"n": 8}, "P=? [ F<=10 goal ]", 0.125)
+    >>> store.get({"n": 8}, "P=? [ F<=10 goal ]").value
+    0.125
+    >>> store.get({"n": 9}, "P=? [ F<=10 goal ]") is None
+    True
+    """
+
+    def __init__(
+        self,
+        path: "os.PathLike[str] | str",
+        *,
+        salt: Optional[str] = None,
+        timeout: float = 30.0,
+    ) -> None:
+        self.path = os.fspath(path)
+        self.salt = salt if salt is not None else _default_salt()
+        self.timeout = timeout
+        self._lock = threading.Lock()
+        self._conn: Optional[sqlite3.Connection] = None
+
+    # -- connection lifecycle -------------------------------------------------
+
+    def _connection(self) -> sqlite3.Connection:
+        if self._conn is None:
+            conn = sqlite3.connect(
+                self.path, timeout=self.timeout, check_same_thread=False
+            )
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.executescript(_SCHEMA)
+            conn.commit()
+            self._conn = conn
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # Pickle by location, never by live connection: each worker process
+    # of a sharded sweep reopens the file itself.
+    def __getstate__(self) -> Dict[str, Any]:
+        return {"path": self.path, "salt": self.salt, "timeout": self.timeout}
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.path = state["path"]
+        self.salt = state["salt"]
+        self.timeout = state["timeout"]
+        self._lock = threading.Lock()
+        self._conn = None
+
+    # -- core API -------------------------------------------------------------
+
+    def key_for(
+        self, scenario: Any, formula: str, backend: str = "exact", config: Any = None
+    ) -> str:
+        """The row key this store uses for one logical query."""
+        return make_key(self.salt, scenario, formula, backend, config or {})
+
+    def put(
+        self,
+        scenario: Any,
+        formula: str,
+        value: Any,
+        *,
+        backend: str = "exact",
+        config: Any = None,
+        seconds: float = 0.0,
+        family: Optional[str] = None,
+        extra: Optional[Mapping[str, Any]] = None,
+    ) -> str:
+        """Upsert one result; returns its key.
+
+        ``samples`` provenance is lifted off the value when it carries
+        a ``samples`` attribute (APMC/SPRT results, ``Guarantee``).
+        Concurrent writers race safely: last writer wins the row.
+        """
+        extra_dict = dict(extra or {})
+        if family is None:
+            family = extra_dict.get("family")
+        key = self.key_for(scenario, formula, backend, config)
+        payload = _encode_value(value)
+        samples = int(getattr(value, "samples", 0) or 0)
+        now = time.time()
+        with self._lock:
+            conn = self._connection()
+            conn.execute(
+                """
+                INSERT INTO results
+                    (key, scenario, family, formula, backend, config,
+                     payload, seconds, samples, extra, created, updated, hits)
+                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, 0)
+                ON CONFLICT(key) DO UPDATE SET
+                    payload = excluded.payload,
+                    seconds = excluded.seconds,
+                    samples = excluded.samples,
+                    extra = excluded.extra,
+                    updated = excluded.updated
+                """,
+                (
+                    key,
+                    canonical(scenario),
+                    family,
+                    formula,
+                    backend,
+                    canonical(config or {}),
+                    payload,
+                    float(seconds),
+                    samples,
+                    json.dumps(extra_dict, sort_keys=True),
+                    now,
+                    now,
+                ),
+            )
+            conn.commit()
+        return key
+
+    def get(
+        self,
+        scenario: Any,
+        formula: str,
+        backend: str = "exact",
+        config: Any = None,
+    ) -> Optional[StoredResult]:
+        """Fetch one cached result, or ``None`` on a miss.
+
+        Hits bump the row's persistent ``hits`` counter (the ``store
+        stats`` "hits served" figure).
+        """
+        results = self.get_many([(scenario, formula, backend, config)])
+        return results[0]
+
+    def get_many(
+        self, queries: Sequence[Tuple[Any, str, str, Any]]
+    ) -> List[Optional[StoredResult]]:
+        """Batched :meth:`get`: one SELECT for a whole sweep grid.
+
+        ``queries`` is a sequence of ``(scenario, formula, backend,
+        config)`` tuples; the result list is parallel to it, ``None``
+        where the store misses.
+        """
+        if not queries:
+            return []
+        keys = [
+            self.key_for(scenario, formula, backend, config)
+            for scenario, formula, backend, config in queries
+        ]
+        marks = ",".join("?" * len(set(keys)))
+        unique = list(dict.fromkeys(keys))
+        with self._lock:
+            conn = self._connection()
+            rows = conn.execute(
+                f"SELECT * FROM results WHERE key IN ({marks})", unique
+            ).fetchall()
+            found = {row[0]: row for row in rows}
+            if found:
+                hit_marks = ",".join("?" * len(found))
+                conn.execute(
+                    f"UPDATE results SET hits = hits + 1"
+                    f" WHERE key IN ({hit_marks})",
+                    list(found),
+                )
+                conn.commit()
+        return [
+            self._row_to_result(found[key]) if key in found else None
+            for key in keys
+        ]
+
+    @staticmethod
+    def _row_to_result(row: Tuple) -> StoredResult:
+        (
+            key, scenario, family, formula, backend, config,
+            payload, seconds, samples, extra, created, updated, hits,
+        ) = row
+        return StoredResult(
+            key=key,
+            scenario=json.loads(scenario),
+            family=family,
+            formula=formula,
+            backend=backend,
+            config=json.loads(config),
+            value=_decode_value(payload),
+            seconds=seconds,
+            samples=samples,
+            extra=json.loads(extra),
+            created=created,
+            updated=updated,
+            hits=hits,
+        )
+
+    # -- maintenance / introspection ------------------------------------------
+
+    def query(
+        self,
+        *,
+        family: Optional[str] = None,
+        backend: Optional[str] = None,
+        formula: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[StoredResult]:
+        """Scan stored rows, newest first, with optional filters."""
+        where, params = self._filters(family, backend, formula)
+        sql = f"SELECT * FROM results{where} ORDER BY updated DESC"
+        if limit is not None:
+            sql += " LIMIT ?"
+            params.append(int(limit))
+        with self._lock:
+            rows = self._connection().execute(sql, params).fetchall()
+        return [self._row_to_result(row) for row in rows]
+
+    def invalidate(
+        self,
+        *,
+        family: Optional[str] = None,
+        backend: Optional[str] = None,
+        formula: Optional[str] = None,
+    ) -> int:
+        """Delete matching rows (all rows when no filter); returns count."""
+        where, params = self._filters(family, backend, formula)
+        with self._lock:
+            conn = self._connection()
+            cursor = conn.execute(f"DELETE FROM results{where}", params)
+            conn.commit()
+        return cursor.rowcount
+
+    @staticmethod
+    def _filters(
+        family: Optional[str], backend: Optional[str], formula: Optional[str]
+    ) -> Tuple[str, List[Any]]:
+        clauses, params = [], []
+        for column, value in (
+            ("family", family), ("backend", backend), ("formula", formula)
+        ):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                params.append(value)
+        return (" WHERE " + " AND ".join(clauses)) if clauses else "", params
+
+    def stats(self) -> StoreStats:
+        """Aggregate counters for the whole store file."""
+        with self._lock:
+            conn = self._connection()
+            entries, seconds, hits = conn.execute(
+                "SELECT COUNT(*), COALESCE(SUM(seconds), 0),"
+                " COALESCE(SUM(hits), 0) FROM results"
+            ).fetchone()
+            families = dict(
+                conn.execute(
+                    "SELECT COALESCE(family, '?'), COUNT(*) FROM results"
+                    " GROUP BY family"
+                ).fetchall()
+            )
+            backends = dict(
+                conn.execute(
+                    "SELECT backend, COUNT(*) FROM results GROUP BY backend"
+                ).fetchall()
+            )
+        try:
+            db_bytes = os.path.getsize(self.path)
+        except OSError:
+            db_bytes = 0
+        return StoreStats(
+            path=self.path,
+            salt=self.salt,
+            entries=entries,
+            families=families,
+            backends=backends,
+            compute_seconds=seconds,
+            total_hits=hits,
+            db_bytes=db_bytes,
+        )
+
+    def __len__(self) -> int:
+        with self._lock:
+            (count,) = self._connection().execute(
+                "SELECT COUNT(*) FROM results"
+            ).fetchone()
+        return count
+
+    def __repr__(self) -> str:
+        return f"ResultStore({self.path!r}, salt={self.salt!r})"
+
+
+def read_through(
+    store: ResultStore,
+    *,
+    key: Optional[Callable[[Any], Any]] = None,
+    extra: Optional[Mapping[str, Any]] = None,
+) -> Callable:
+    """Decorator binding ``store`` into a sweep-check-style callable.
+
+    The wrapped callable must accept the ``store=`` / ``store_key=`` /
+    ``store_extra=`` keywords of :func:`repro.engine.sweep_check`; the
+    decorator injects them (without overriding explicit arguments), so
+    every call reads hits from ``store`` and writes misses back::
+
+        from repro.engine import sweep_check
+        from repro.store import ResultStore, read_through
+
+        cached_check = read_through(ResultStore("results.sqlite"))(sweep_check)
+        results = cached_check(build, points, "P=? [ F<=10 flag ]")
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        import functools
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            kwargs.setdefault("store", store)
+            if key is not None:
+                kwargs.setdefault("store_key", key)
+            if extra is not None:
+                kwargs.setdefault("store_extra", extra)
+            return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

@@ -5,11 +5,18 @@ Subcommands::
     repro-zoo list [--tag mimo]
     repro-zoo build mimo-1xN -p num_rx=2 -p snr_db=6.0 --verify
     repro-zoo sweep mimo-1xN -g snr_db=4,6,8 --backend apmc
-    repro-zoo survey --backend exact
+    repro-zoo sweep mimo-1xN -g snr_db=4,6,8 --store results.sqlite
+    repro-zoo survey --backend exact [--store results.sqlite]
+    repro-zoo store stats --store results.sqlite
+    repro-zoo store query --store results.sqlite --family mimo-1xN
+    repro-zoo store clear --store results.sqlite [--family ...]
 
 ``-p/--param`` sets one scenario parameter (``key=value``, value parsed
 as a Python literal when possible); ``-g/--grid`` names one sweep axis
-(``key=v1,v2,...``).
+(``key=v1,v2,...``).  ``--store PATH`` read-through caches sweep and
+survey results in a persistent sqlite guarantee store — warm repeats
+are reported as cache hits; the ``store`` subcommands inspect and
+maintain such a file.
 """
 
 from __future__ import annotations
@@ -109,6 +116,14 @@ def _cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_store(args: argparse.Namespace):
+    if getattr(args, "store", None) is None:
+        return None
+    from ..store import ResultStore
+
+    return ResultStore(args.store)
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.backend == "sprt" and args.theta is None:
         print("error: --backend sprt requires --theta", file=sys.stderr)
@@ -117,6 +132,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     smc = SmcConfig(
         epsilon=args.epsilon, delta=args.delta, seed=args.seed
     )
+    store = _open_store(args)
     results = _sweep(
         args.family,
         axes=axes or None,
@@ -127,19 +143,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         theta=args.theta,
         smc=smc,
         executor=args.executor,
+        shard_size=args.shard_size,
+        store=store,
     )
     rows = []
     failures = 0
+    hits = 0
     for result in results:
         point = " ".join(f"{k}={v}" for k, v in sorted(result.point.items())) or "<defaults>"
+        hits += result.cached
         if result.ok:
             rows.append([point, _render_value(result.value), f"{result.seconds:.3f}"])
         else:
             failures += 1
             rows.append([point, f"ERROR {result.error}", f"{result.seconds:.3f}"])
     print(format_table(["point", "value", "seconds"], rows))
+    store_note = f", {hits} cache hits" if store is not None else ""
     print(
-        f"{len(results)} points, {failures} failed"
+        f"{len(results)} points, {failures} failed{store_note}"
         f" (backend={args.backend}, formula="
         f"{args.formula or registry.get_model(args.family).default_property!r})"
     )
@@ -147,20 +168,62 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_survey(args: argparse.Namespace) -> int:
+    store = _open_store(args)
     results = _survey(
-        tag=args.tag, backend=args.backend, executor=args.executor
+        tag=args.tag, backend=args.backend, executor=args.executor,
+        store=store,
     )
     rows = []
     failures = 0
+    hits = 0
     for name, result in sorted(results.items()):
+        hits += result.cached
         if result.ok:
             rows.append([name, _render_value(result.value), f"{result.seconds:.3f}"])
         else:
             failures += 1
             rows.append([name, f"ERROR {result.error}", f"{result.seconds:.3f}"])
     print(format_table(["family", "default property value", "seconds"], rows))
-    print(f"{len(results)} families, {failures} failed (backend={args.backend})")
+    store_note = f", {hits} cache hits" if store is not None else ""
+    print(
+        f"{len(results)} families, {failures} failed{store_note}"
+        f" (backend={args.backend})"
+    )
     return 1 if failures else 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from ..store import ResultStore
+
+    store = ResultStore(args.store)
+    if args.store_command == "stats":
+        print(store.stats().describe())
+        return 0
+    if args.store_command == "query":
+        rows = []
+        for row in store.query(
+            family=args.family, backend=args.backend,
+            formula=args.formula, limit=args.limit,
+        ):
+            rows.append([
+                row.family or "-",
+                row.formula,
+                row.backend,
+                _render_value(row.value),
+                f"{row.seconds:.3f}",
+                str(row.hits),
+            ])
+        print(format_table(
+            ["family", "formula", "backend", "value", "seconds", "hits"], rows
+        ))
+        print(f"{len(rows)} rows (of {len(store)} stored)")
+        return 0
+    # clear
+    removed = store.invalidate(
+        family=args.family, backend=args.backend, formula=args.formula
+    )
+    print(f"invalidated {removed} cached result(s) in {args.store}")
+    return 0
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -223,6 +286,14 @@ def _build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--executor", choices=("serial", "thread", "process"), default="thread"
     )
+    p_sweep.add_argument(
+        "--shard-size", type=int, metavar="N",
+        help="points per process-pool shard (executor=process)",
+    )
+    p_sweep.add_argument(
+        "--store", metavar="PATH",
+        help="read-through cache sweep results in this sqlite guarantee store",
+    )
     p_sweep.set_defaults(fn=_cmd_sweep)
 
     p_survey = sub.add_parser(
@@ -235,7 +306,36 @@ def _build_parser() -> argparse.ArgumentParser:
     p_survey.add_argument(
         "--executor", choices=("serial", "thread", "process"), default="thread"
     )
+    p_survey.add_argument(
+        "--store", metavar="PATH",
+        help="read-through cache survey results in this sqlite guarantee store",
+    )
     p_survey.set_defaults(fn=_cmd_survey)
+
+    p_store = sub.add_parser(
+        "store", help="inspect / maintain a persistent guarantee store"
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+    for name, help_text in (
+        ("stats", "aggregate counters of one store file"),
+        ("query", "list cached results, newest first"),
+        ("clear", "invalidate cached results (all, or filtered)"),
+    ):
+        p = store_sub.add_parser(name, help=help_text)
+        p.add_argument(
+            "--store", metavar="PATH", required=True,
+            help="path of the sqlite guarantee store",
+        )
+        if name != "stats":
+            p.add_argument("--family", help="filter by zoo family")
+            p.add_argument(
+                "--backend", choices=("exact", "apmc", "sprt"),
+                help="filter by checking backend",
+            )
+            p.add_argument("--formula", help="filter by pCTL property")
+        if name == "query":
+            p.add_argument("--limit", type=int, help="show at most N rows")
+        p.set_defaults(fn=_cmd_store)
     return parser
 
 
