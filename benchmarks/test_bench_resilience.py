@@ -1,0 +1,90 @@
+"""Benchmarks of the fault-tolerance layer (ISSUE 7 acceptance).
+
+The acceptance bar, asserted here and reported in
+``BENCH_resilience.json`` for the CI regression guard: arming the
+fabric's resilience policies (a 3-attempt :class:`RetryPolicy` plus a
+30s :class:`DeadlinePolicy` watchdog) on a fault-free 100-point serial
+``zoo.sweep`` must cost **less than 10%** wall-clock overhead versus
+the bare sweep — fault tolerance is a default you leave on, not a mode
+you pay for.
+
+The two flavours are timed interleaved (best of three rounds each) so
+machine drift during the run biases neither side, and the resilient
+run's values must be identical to the plain run's — the policies may
+never change a result, only bound its failure modes.
+"""
+
+import time
+
+from repro import zoo
+from repro.engine import DeadlinePolicy, RetryPolicy
+
+FORMULA = "P=? [ F<=100 goal ]"
+
+#: The 100-point acceptance grid (>= 100 points required by ISSUE 7).
+POINTS = [
+    {"p_up": round(0.05 + 0.01 * i, 2), "n": n}
+    for i in range(25)
+    for n in (8, 16, 24, 32)
+]
+
+#: No-fault policies: generous budgets that should never trigger.
+RETRY = RetryPolicy(max_attempts=3, backoff=0.1)
+DEADLINE = DeadlinePolicy(timeout=30.0)
+
+#: Best-of wall-clocks, filled by the interleaved rounds below.
+_SECONDS = {}
+
+
+def _timed(label, fn):
+    start = time.perf_counter()
+    result = fn()
+    _SECONDS[label] = min(
+        _SECONDS.get(label, float("inf")), time.perf_counter() - start
+    )
+    return result
+
+
+def _plain_sweep():
+    return zoo.sweep(
+        "birth-death", points=POINTS, formula=FORMULA, executor="serial"
+    )
+
+
+def _resilient_sweep():
+    return zoo.sweep(
+        "birth-death", points=POINTS, formula=FORMULA, executor="serial",
+        retry=RETRY, deadline=DEADLINE,
+    )
+
+
+def test_bench_resilient_sweep(benchmark):
+    """Tracked wall-clock of the policy-armed 100-point sweep."""
+    results = benchmark.pedantic(_resilient_sweep, rounds=3, iterations=1)
+    assert len(results) == len(POINTS)
+    assert all(r.ok and r.attempts == 1 for r in results)
+    assert all(r.warnings == () for r in results)
+
+
+def test_resilience_overhead_under_ten_percent(benchmark):
+    """The acceptance bar: armed fabric <= 1.10x the bare sweep.
+
+    Rounds alternate plain/resilient so a slow CI moment hits both
+    flavours equally; best-of-three on each side drops scheduler noise.
+    A small absolute allowance keeps sub-second timings from flaking on
+    loaded runners without weakening the relative bar that matters.
+    """
+    for _ in range(3):
+        plain = _timed("plain", _plain_sweep)
+        resilient = _timed("resilient", _resilient_sweep)
+    assert [r.value for r in resilient] == [r.value for r in plain]
+
+    overhead = _SECONDS["resilient"] / _SECONDS["plain"]
+    benchmark.extra_info["plain_seconds"] = _SECONDS["plain"]
+    benchmark.extra_info["resilient_seconds"] = _SECONDS["resilient"]
+    benchmark.extra_info["points"] = len(POINTS)
+    benchmark.extra_info["overhead_ratio"] = overhead
+    benchmark.pedantic(_resilient_sweep, rounds=1, iterations=1)
+    assert (
+        _SECONDS["resilient"] <= _SECONDS["plain"] * 1.10 + 0.05
+    ), f"resilience overhead {overhead:.2f}x exceeds the 10% bar"

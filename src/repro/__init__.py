@@ -40,6 +40,8 @@ Subpackages
 ``repro.smc``      — statistical model checking (Hoeffding, SPRT)
 ``repro.zoo``      — scenario model zoo + sweep/survey CLI
 ``repro.store``    — persistent guarantee store (sqlite result cache)
+``repro.resilience`` — fault-tolerant sweep fabric (retries, deadlines,
+crash recovery, guarantee validation, chaos injection)
 """
 
 from .core import Guarantee, PerformanceAnalyzer
@@ -57,9 +59,17 @@ from .pctl import check, parse_formula
 from .smc import smc_decide, smc_estimate
 from . import zoo
 from . import store
+from . import resilience
+from .resilience import (
+    DeadlinePolicy,
+    FaultInjector,
+    RetryPolicy,
+    SweepReport,
+    validate_guarantee,
+)
 from .store import ResultStore
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "Guarantee",
@@ -82,5 +92,11 @@ __all__ = [
     "zoo",
     "store",
     "ResultStore",
+    "resilience",
+    "RetryPolicy",
+    "DeadlinePolicy",
+    "SweepReport",
+    "FaultInjector",
+    "validate_guarantee",
     "__version__",
 ]

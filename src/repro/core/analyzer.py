@@ -18,11 +18,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..dtmc import DTMC, assert_ergodic, reachability_iterations
 from ..engine import Engine, SmcConfig, SolverConfig, default_engine
 from ..pctl import ModelChecker
+from ..resilience.validate import ValidationWarning, validate_guarantee
 from .metrics import (
     MetricSpec,
     average_case_error,
@@ -52,6 +53,13 @@ class Guarantee:
     Prob0/Prob1 sets, alias tables, long-run structure) this check
     reused instead of recomputing, and — for statistical runs — how
     many sampled paths ``samples`` the verdict consumed.
+
+    ``warnings`` holds the :class:`~repro.resilience.ValidationWarning`
+    records of the guarantee-validation gate (NaN/Inf, probability
+    range): an empty tuple means the value passed every applicable
+    check; a non-empty one flags a number that should not be trusted
+    blindly.  Violations never raise — a million automated checks must
+    degrade to flagged results, not crashed pipelines.
     """
 
     metric: str
@@ -63,19 +71,29 @@ class Guarantee:
     backend: str = "lu"
     cache_hits: int = 0
     samples: int = 0
+    warnings: Tuple[ValidationWarning, ...] = ()
 
     @property
     def is_exact(self) -> bool:
         """Exhaustive result (no sampled paths involved)?"""
         return self.samples == 0
 
+    @property
+    def is_valid(self) -> bool:
+        """Did the value pass the validation gate warning-free?"""
+        return not self.warnings
+
     def __str__(self) -> str:
         sampled = "" if self.is_exact else f", {self.samples} samples"
+        flagged = (
+            "" if not self.warnings
+            else "  !! " + "; ".join(str(w) for w in self.warnings)
+        )
         return (
             f"{self.metric} = {self.value:.6g}   "
             f"[{self.property_string}; {self.model_states} states,"
             f" {self.check_seconds:.2f}s; {self.backend}"
-            f" engine, {self.cache_hits} cache hits{sampled}]"
+            f" engine, {self.cache_hits} cache hits{sampled}]{flagged}"
         )
 
 
@@ -176,15 +194,17 @@ class PerformanceAnalyzer:
         start = time.perf_counter()
         result = self.checker.check(prop)
         elapsed = time.perf_counter() - start
+        value = float(result.value)
         guarantee = Guarantee(
             metric=name,
             property_string=prop,
-            value=float(result.value),
+            value=value,
             model_states=self.chain.num_states,
             model_transitions=self.chain.num_transitions,
             check_seconds=elapsed,
             backend=self.engine.config.method,
             cache_hits=self.engine.stats.cache_hits - hits_before,
+            warnings=validate_guarantee(value, formula=prop),
         )
         self.history.append(guarantee)
         return guarantee
@@ -266,6 +286,7 @@ class PerformanceAnalyzer:
             backend=backend,
             cache_hits=self.engine.stats.cache_hits - hits_before,
             samples=result.samples,
+            warnings=validate_guarantee(value, formula=prop),
         )
         self.history.append(guarantee)
         return guarantee

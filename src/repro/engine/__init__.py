@@ -13,6 +13,7 @@ design points (SNR, traceback length, quantizer levels) spread across
 ``concurrent.futures`` workers.
 """
 
+from ..resilience import DeadlineExceeded, DeadlinePolicy, RetryPolicy, SweepReport
 from .config import ITERATIVE_METHODS, SOLVER_METHODS, SmcConfig, SolverConfig
 from .core import Engine, EngineStats, default_engine
 from .sweep import (
@@ -38,4 +39,9 @@ __all__ = [
     "sweep",
     "sweep_check",
     "sweep_values",
+    # fault-tolerance layer, re-exported for sweep call sites
+    "RetryPolicy",
+    "DeadlinePolicy",
+    "DeadlineExceeded",
+    "SweepReport",
 ]

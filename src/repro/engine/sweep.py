@@ -24,6 +24,27 @@ results is bit-identical to the serial path — per-point seed streams
 are spawned by grid index, never by worker, so shards are
 embarrassingly mergeable.
 
+Every runner is fault-tolerant (see :mod:`repro.resilience`):
+
+* a :class:`~repro.resilience.RetryPolicy` re-attempts failing points
+  with exponential backoff and deterministic per-point jitter;
+* a :class:`~repro.resilience.DeadlinePolicy` bounds each point's
+  wall-clock — watchdog threads on the serial/thread executors,
+  pool-level ``concurrent.futures`` timeouts on the process executor;
+* the process executor survives worker death: on
+  ``BrokenProcessPool`` (or a pool-level deadline overrun) the pool is
+  rebuilt, lost shards are resubmitted one at a time, and a
+  repeatedly-fatal shard is bisected down to the single poisoned
+  point, which is *quarantined* into a :class:`SweepResult` carrying
+  its error and attempt count while every surviving point's result
+  stays bit-identical to the serial path;
+* failed results carry an abbreviated traceback (``traceback``) and
+  the attempt count (``attempts``) for post-mortems, and
+  :func:`sweep_check` validates every emitted value
+  (:func:`repro.resilience.validate_guarantee`), attaching structured
+  ``warnings`` instead of silently accepting NaN/Inf/out-of-range
+  numbers.
+
 :func:`sweep_check` is the property-checking specialization: one pCTL
 formula evaluated across a grid of models with a selectable checking
 backend — ``"exact"`` (the solver engine) or the statistical
@@ -38,14 +59,29 @@ import functools
 import itertools
 import json
 import os
+import threading
 import time
+import traceback as _traceback
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures import wait as _futures_wait
+from dataclasses import dataclass, field
 from dataclasses import replace as dataclass_replace
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
+from ..resilience.policies import DeadlineExceeded, DeadlinePolicy, RetryPolicy
+from ..resilience.validate import ValidationWarning, formula_kind, validate_guarantee
 from .config import SmcConfig
 
 __all__ = [
@@ -85,6 +121,19 @@ class SweepResult:
     label:
         Free-form caller annotation (e.g. the zoo family name a survey
         row belongs to) — never written by the sweep runner itself.
+    attempts:
+        How many tries this point consumed: in-worker retries under a
+        :class:`~repro.resilience.RetryPolicy`, or — for points
+        quarantined by process-pool crash recovery — the number of
+        pool waves the point was implicated in before isolation.
+    traceback:
+        Abbreviated traceback (the last few frames) of the failure,
+        so a quarantined point is debuggable from a
+        :class:`~repro.resilience.SweepReport`; ``None`` on success.
+    warnings:
+        :class:`~repro.resilience.ValidationWarning` records attached
+        by :func:`sweep_check`'s guarantee validation — empty when the
+        value passed every applicable check.
     """
 
     point: Any
@@ -93,10 +142,20 @@ class SweepResult:
     error: Optional[str] = None
     cached: bool = False
     label: Optional[str] = None
+    attempts: int = 1
+    traceback: Optional[str] = None
+    warnings: Tuple[ValidationWarning, ...] = field(default=())
 
     @property
     def ok(self) -> bool:
         return self.error is None
+
+    @property
+    def timed_out(self) -> bool:
+        """Was this point killed by a :class:`DeadlinePolicy`?"""
+        return self.error is not None and self.error.startswith(
+            "DeadlineExceeded"
+        )
 
 
 def grid(**axes: Iterable[Any]) -> List[Dict[str, Any]]:
@@ -110,39 +169,249 @@ def grid(**axes: Iterable[Any]) -> List[Dict[str, Any]]:
     return [dict(zip(names, combo)) for combo in combos]
 
 
-def _run_point(fn: Callable[[Any], Any], point: Any) -> SweepResult:
+def _abbreviate_traceback(exc: BaseException, limit: int = 3) -> str:
+    """The last ``limit`` frames plus the exception line — enough to
+    debug a quarantined point without shipping a full stack dump."""
+    frames = _traceback.format_tb(exc.__traceback__)
+    if len(frames) > limit:
+        frames = [f"  ... ({len(frames) - limit} frames elided)\n"] + frames[
+            -limit:
+        ]
+    return "".join(frames + [f"{type(exc).__name__}: {exc}"]).rstrip()
+
+
+def _call_with_deadline(
+    fn: Callable[[Any], Any], point: Any, deadline: Optional[DeadlinePolicy]
+) -> Any:
+    """Run ``fn(point)``, bounded by a watchdog when a deadline is set.
+
+    The point runs in a daemon helper thread; when the deadline passes
+    the helper is *abandoned* (Python threads cannot be killed) and
+    :class:`DeadlineExceeded` is raised in the caller — the watchdog
+    half of the deadline contract (the process executor uses pool
+    timeouts instead, see :func:`_process_sweep`).
+    """
+    if deadline is None:
+        return fn(point)
+    outcome: Dict[str, Any] = {}
+
+    def _target() -> None:
+        try:
+            outcome["value"] = fn(point)
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            outcome["error"] = exc
+
+    watchdog = threading.Thread(
+        target=_target, daemon=True, name="sweep-point-watchdog"
+    )
+    watchdog.start()
+    watchdog.join(deadline.timeout)
+    if watchdog.is_alive():
+        raise DeadlineExceeded(
+            f"point exceeded its {deadline.timeout:.6g}s deadline"
+        )
+    if "error" in outcome:
+        raise outcome["error"]
+    return outcome["value"]
+
+
+def _run_point(
+    fn: Callable[[Any], Any],
+    point: Any,
+    retry: Optional[RetryPolicy] = None,
+    deadline: Optional[DeadlinePolicy] = None,
+) -> SweepResult:
     start = time.perf_counter()
-    try:
-        value = fn(point)
-    except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+    attempt = 1
+    while True:
+        try:
+            value = _call_with_deadline(fn, point, deadline)
+        except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+            if retry is not None and retry.should_retry(exc, attempt):
+                delay = retry.delay(_canonical_point(point), attempt)
+                if delay > 0:
+                    time.sleep(delay)
+                attempt += 1
+                continue
+            return SweepResult(
+                point=point,
+                value=None,
+                seconds=time.perf_counter() - start,
+                error=f"{type(exc).__name__}: {exc}",
+                traceback=_abbreviate_traceback(exc),
+                attempts=attempt,
+            )
         return SweepResult(
             point=point,
-            value=None,
+            value=value,
             seconds=time.perf_counter() - start,
-            error=f"{type(exc).__name__}: {exc}",
+            attempts=attempt,
         )
-    return SweepResult(
-        point=point, value=value, seconds=time.perf_counter() - start
-    )
 
 
-def _run_shard(fn: Callable[[Any], Any], shard: Sequence[Any]) -> List[SweepResult]:
-    """One process-executor work unit: a contiguous slice of points."""
-    return [_run_point(fn, point) for point in shard]
+def _run_shard(
+    fn: Callable[[Any], Any],
+    shard: Sequence[Any],
+    retry: Optional[RetryPolicy] = None,
+) -> List[SweepResult]:
+    """One process-executor work unit: a contiguous slice of points.
+
+    Retries run *inside* the worker (cheap, no resubmission); deadlines
+    are enforced at the pool level by :func:`_process_sweep`, which is
+    the only enforcement that also catches hard (C-level) hangs.
+    """
+    return [_run_point(fn, point, retry) for point in shard]
 
 
 def _shard(points: Sequence[Any], workers: int, shard_size: Optional[int]):
-    """Chunk ``points`` into contiguous shards for the process pool.
+    """Chunk ``points`` into contiguous index ranges for the pool.
 
     The default shard size targets four shards per worker — large
     enough to amortize pickling and dispatch, small enough that a slow
-    shard cannot serialize the tail of the sweep.
+    shard cannot serialize the tail of the sweep.  Ranges (rather than
+    point slices) are the unit of crash recovery: a fatal range is
+    bisected by index until the poisoned point is isolated.
     """
     if shard_size is None:
         shard_size = max(1, -(-len(points) // (4 * workers)))
     if shard_size < 1:
         raise ValueError(f"shard_size must be >= 1, got {shard_size}")
-    return [points[i : i + shard_size] for i in range(0, len(points), shard_size)]
+    return [
+        (start, min(start + shard_size, len(points)))
+        for start in range(0, len(points), shard_size)
+    ]
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Hard-stop a pool whose workers may be hung or dead.
+
+    ``shutdown(wait=True)`` would block on a hung worker forever, so
+    pending futures are cancelled and surviving worker processes are
+    terminated outright — the pool is disposable, the next wave builds
+    a fresh one.
+    """
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+    for process in processes:
+        process.join(timeout=1.0)
+
+
+def _wave_budget(
+    deadline: Optional[DeadlinePolicy],
+    retry: Optional[RetryPolicy],
+    wave_points: int,
+    workers: int,
+) -> Optional[float]:
+    """Pool-level wait budget for one wave of shard futures.
+
+    Conservative: per-point budget (deadline x in-worker retry
+    attempts) times the worst sequential run any single worker might
+    see, plus one extra point and the policy's startup grace.  A wave
+    that overruns it has a hung worker somewhere; the not-yet-finished
+    shards become recovery suspects.
+    """
+    if deadline is None:
+        return None
+    attempts = retry.max_attempts if retry is not None else 1
+    per_point = deadline.timeout * attempts
+    rounds = -(-wave_points // max(1, workers))
+    return per_point * (rounds + 1) + deadline.grace
+
+
+def _process_sweep(
+    fn: Callable[[Any], Any],
+    points: Sequence[Any],
+    *,
+    workers: int,
+    shard_size: Optional[int],
+    retry: Optional[RetryPolicy],
+    deadline: Optional[DeadlinePolicy],
+) -> List[SweepResult]:
+    """Sharded process-pool sweep with crash recovery.
+
+    The happy path is one wave: every shard submitted to one pool,
+    results merged by global index (bit-identical to the serial path —
+    nothing about a point's computation depends on which worker ran
+    it).  On a fault — ``BrokenProcessPool`` from a dying worker, or a
+    pool-budget overrun from a hung one — the pool is torn down and
+    the fabric switches to *isolation mode*: suspect ranges are re-run
+    one per wave in a fresh pool, fatal ranges are bisected, and the
+    single poisoned point left standing is quarantined into a
+    :class:`SweepResult` carrying the failure reason and the number of
+    waves it was implicated in.  Completed shard results are never
+    recomputed; innocent points re-run deterministically.
+    """
+    results: Dict[int, SweepResult] = {}
+    strikes: Dict[int, int] = {}
+    pending: List[Tuple[int, int]] = _shard(points, workers, shard_size)
+    isolate = False
+    while pending:
+        if isolate:  # one suspect range per wave: unambiguous blame
+            wave, pending = [pending[0]], pending[1:]
+        else:
+            wave, pending = pending, []
+        wave_points = sum(stop - start for start, stop in wave)
+        budget = _wave_budget(deadline, retry, wave_points, workers)
+        pool = ProcessPoolExecutor(max_workers=min(workers, len(wave)))
+        started = time.perf_counter()
+        futures: Dict[Any, Tuple[int, int]] = {}
+        try:
+            futures = {
+                pool.submit(_run_shard, fn, points[start:stop], retry): (
+                    start,
+                    stop,
+                )
+                for start, stop in wave
+            }
+            done, not_done = _futures_wait(futures, timeout=budget)
+            elapsed = time.perf_counter() - started
+            suspects: List[Tuple[Tuple[int, int], str]] = []
+            for future in done:
+                span = futures[future]
+                try:
+                    shard_results = future.result()
+                except Exception as exc:  # worker death, pool breakage
+                    detail = str(exc) or "worker process died"
+                    suspects.append(
+                        (span, f"{type(exc).__name__}: {detail}")
+                    )
+                else:
+                    for offset, result in enumerate(shard_results):
+                        results[span[0] + offset] = result
+            for future in not_done:
+                span = futures[future]
+                suspects.append(
+                    (
+                        span,
+                        f"DeadlineExceeded: shard still running after the"
+                        f" {budget:.6g}s pool budget",
+                    )
+                )
+        finally:
+            if any(not future.done() for future in futures):
+                _terminate_pool(pool)  # hung workers: hard stop
+            else:
+                pool.shutdown(wait=True)
+        if suspects and not isolate:
+            isolate = True
+        for (start, stop), reason in suspects:
+            for index in range(start, stop):
+                strikes[index] = strikes.get(index, 0) + 1
+            if stop - start == 1:  # the poisoned point, isolated
+                results[start] = SweepResult(
+                    point=points[start],
+                    value=None,
+                    seconds=elapsed,
+                    error=reason,
+                    attempts=strikes[start],
+                )
+            else:  # bisect: halve the suspect range and requeue
+                mid = (start + stop) // 2
+                pending.extend([(start, mid), (mid, stop)])
+    return [results[index] for index in range(len(points))]
 
 
 def sweep(
@@ -153,6 +422,8 @@ def sweep(
     max_workers: Optional[int] = None,
     on_error: str = "capture",
     shard_size: Optional[int] = None,
+    retry: Union[RetryPolicy, int, None] = None,
+    deadline: Union[DeadlinePolicy, float, None] = None,
 ) -> List[SweepResult]:
     """Evaluate ``fn`` on every point, fanning across workers.
 
@@ -166,7 +437,15 @@ def sweep(
     ``shard_size`` points, see :func:`_shard`) through a
     :class:`~concurrent.futures.ProcessPoolExecutor` and merges the
     ordered shard results; ``shard_size`` is ignored by the other
-    executors, where per-point submission is already cheap.
+    executors, where per-point submission is already cheap.  The
+    process path survives worker crashes and pool-level deadline
+    overruns — see :func:`_process_sweep`.
+
+    ``retry`` (a :class:`~repro.resilience.RetryPolicy` or a bare
+    attempt count) re-attempts transient failures per point;
+    ``deadline`` (a :class:`~repro.resilience.DeadlinePolicy` or bare
+    seconds) bounds each point's wall-clock.  Both default to off, in
+    which case this runner behaves exactly as it always has.
     """
     if executor not in _EXECUTORS:
         raise ValueError(
@@ -174,21 +453,28 @@ def sweep(
         )
     if on_error not in ("capture", "raise"):
         raise ValueError(f"on_error must be 'capture' or 'raise', got {on_error!r}")
+    retry = RetryPolicy.coerce(retry)
+    deadline = DeadlinePolicy.coerce(deadline)
     points = list(points)
     if executor == "serial" or len(points) <= 1:
-        results = [_run_point(fn, point) for point in points]
+        results = [_run_point(fn, point, retry, deadline) for point in points]
     elif executor == "process":
         workers = max_workers or min(len(points), os.cpu_count() or 1)
-        shards = _shard(points, workers, shard_size)
-        with ProcessPoolExecutor(max_workers=min(workers, len(shards))) as pool:
-            futures = [pool.submit(_run_shard, fn, shard) for shard in shards]
-            results = [
-                result for future in futures for result in future.result()
-            ]
+        results = _process_sweep(
+            fn,
+            points,
+            workers=workers,
+            shard_size=shard_size,
+            retry=retry,
+            deadline=deadline,
+        )
     else:
         workers = max_workers or min(len(points), os.cpu_count() or 1)
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_run_point, fn, point) for point in points]
+            futures = [
+                pool.submit(_run_point, fn, point, retry, deadline)
+                for point in points
+            ]
             results = [future.result() for future in futures]
     if on_error == "raise":
         for result in results:
@@ -266,6 +552,9 @@ def sweep_check(
     store=None,
     store_key: Optional[Callable[[Any], Any]] = None,
     store_extra: Optional[Dict[str, Any]] = None,
+    retry: Union[RetryPolicy, int, None] = None,
+    deadline: Union[DeadlinePolicy, float, None] = None,
+    validate: bool = True,
 ) -> List[SweepResult]:
     """Check one pCTL ``formula`` across a grid of models.
 
@@ -309,6 +598,20 @@ def sweep_check(
     the store's queryable ``family`` column).  Store traffic happens in
     the submitting process only, so neither ``store`` nor ``store_key``
     needs to be picklable for ``executor="process"``.
+
+    Only *successful* points are ever banked — a transient failure is
+    recomputed on the next run, never served as a warm hit — which is
+    also the checkpoint/resume contract: re-running an interrupted or
+    partially-failed sweep against the same store recomputes exactly
+    the missing and failed points.
+
+    ``retry``/``deadline`` thread the fault-tolerance policies of
+    :mod:`repro.resilience` into the underlying runner.  With
+    ``validate=True`` (default) every emitted value is passed through
+    :func:`repro.resilience.validate_guarantee` and violations
+    (NaN/Inf, out-of-range probabilities) are attached to the result's
+    ``warnings`` — downgraded to structured records, never silently
+    accepted and never raised.
     """
     if backend not in CHECK_BACKENDS:
         raise ValueError(
@@ -374,10 +677,14 @@ def sweep_check(
         max_workers=max_workers,
         on_error="capture",
         shard_size=shard_size,
+        retry=retry,
+        deadline=deadline,
     )
     for index, result in zip(misses, computed):
         result.point = result.point[1]  # unwrap the (index, point) plumbing
         by_index[index] = result
+        # Failures are never banked: a quarantined or timed-out point
+        # must be recomputed on the next run, not served as a warm hit.
         if store is not None and result.ok:
             store.put(
                 scenario_ids[index],
@@ -388,6 +695,12 @@ def sweep_check(
                 seconds=result.seconds,
                 extra=store_extra,
             )
+
+    if validate:
+        kind = formula_kind(formula)
+        for result in by_index.values():
+            if result.ok:
+                result.warnings = validate_guarantee(result.value, kind=kind)
 
     results = []
     for index, point in enumerate(points):

@@ -1,0 +1,56 @@
+"""Fault tolerance for the sweep fabric.
+
+The guarantee service certifies reliability figures — so the fabric
+computing them has to be reliable itself.  This package is the
+fault-tolerance layer threaded through :mod:`repro.engine.sweep`,
+:mod:`repro.zoo` and the ``repro-zoo`` CLI:
+
+* :class:`RetryPolicy` / :class:`DeadlinePolicy` — per-point retry
+  budgets (exponential backoff, deterministic jitter) and wall-clock
+  deadlines (watchdog threads on serial/thread executors, pool-level
+  ``concurrent.futures`` timeouts on the process executor).
+* Crash recovery — the process executor survives worker death
+  (``BrokenProcessPool``): the pool is rebuilt, lost shards are
+  resubmitted, and a repeatedly-fatal shard is bisected down to the
+  single poisoned point, which is quarantined into its
+  :class:`~repro.engine.SweepResult` instead of sinking the sweep.
+* Checkpoint/resume — sweeps against a
+  :class:`~repro.store.ResultStore` persist every *successful* point;
+  an interrupted run re-executed with the same store recomputes only
+  what is missing.  :class:`SweepReport` summarizes the triage.
+* :func:`validate_guarantee` — NaN/Inf/range/monotonicity/
+  cross-backend checks on every value the fabric emits, downgraded to
+  structured :class:`ValidationWarning` records on the result.
+* :class:`FaultInjector` — the deterministic chaos harness
+  (raise / hang / kill-worker / corrupt-value) the test suite uses to
+  prove all of the above.
+
+This module imports only the standard library at import time, so the
+engine can depend on it without cycles.
+"""
+
+from .inject import Fault, FaultInjector, InjectedFault
+from .policies import DeadlineExceeded, DeadlinePolicy, RetryPolicy
+from .report import SweepReport
+from .validate import (
+    ValidationWarning,
+    formula_kind,
+    numeric_value,
+    validate_guarantee,
+    validate_monotone,
+)
+
+__all__ = [
+    "RetryPolicy",
+    "DeadlinePolicy",
+    "DeadlineExceeded",
+    "SweepReport",
+    "ValidationWarning",
+    "validate_guarantee",
+    "validate_monotone",
+    "formula_kind",
+    "numeric_value",
+    "Fault",
+    "FaultInjector",
+    "InjectedFault",
+]

@@ -1,0 +1,233 @@
+"""Deterministic fault injection for the chaos test suite.
+
+Proving the fabric survives faults needs faults on demand:
+:class:`FaultInjector` wraps any sweep function and injects a chosen
+:class:`Fault` — raise an exception, hang, kill the worker process, or
+corrupt the returned value — at chosen points, a chosen number of
+times.  Everything is deterministic:
+
+* *which* points fault is fixed by the injection plan (explicit
+  points, or a seed-driven pseudo-random sample via :meth:`sample`);
+* *how often* is tracked in a filesystem scoreboard (one ``O_EXCL``
+  file per attempt), so "fail twice, then succeed" behaves identically
+  whether attempts land in one process, many pool workers, or a
+  re-run after a crash — exactly the cross-process bookkeeping a
+  killed worker needs, since its memory dies with it.
+
+The injector and its wrapped functions are picklable, so chaos tests
+drive the real ``executor="process"`` path, not a simulation of it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, Mapping, Optional, Tuple
+
+__all__ = ["Fault", "FaultInjector", "InjectedFault"]
+
+_KINDS = ("raise", "hang", "kill", "corrupt")
+
+
+class InjectedFault(RuntimeError):
+    """The exception ``kind="raise"`` faults throw by default."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One fault specification.
+
+    Parameters
+    ----------
+    kind:
+        ``"raise"`` (throw ``exception(message)``), ``"hang"`` (sleep
+        ``hang_seconds`` — the deadline watchdog's prey), ``"kill"``
+        (``os._exit`` the worker process, bypassing all cleanup — the
+        ``BrokenProcessPool`` trigger), or ``"corrupt"`` (compute
+        nothing and return ``corrupt_value`` — the validation layer's
+        prey).
+    times:
+        Inject on the first ``times`` attempts only, then behave
+        normally (``None`` = always).  ``times=2`` with a 3-attempt
+        retry policy models a transient failure that recovery should
+        absorb.
+    """
+
+    kind: str = "raise"
+    times: Optional[int] = None
+    message: str = "injected fault"
+    exception: type = InjectedFault
+    hang_seconds: float = 3600.0
+    corrupt_value: Any = float("nan")
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r};"
+                f" choose from {', '.join(_KINDS)}"
+            )
+        if self.times is not None and self.times < 1:
+            raise ValueError(f"times must be >= 1 or None, got {self.times}")
+
+
+def _canonical(point: Any) -> str:
+    """Canonical text identity of a point (mirrors the sweep runner's)."""
+    return json.dumps(point, sort_keys=True, default=repr)
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:24]
+
+
+class FaultInjector:
+    """Seed-driven fault plan + cross-process attempt scoreboard.
+
+    Parameters
+    ----------
+    plan:
+        ``{point: Fault}`` — which points fault.  Points are matched
+        by canonical identity (the same JSON canonicalization the
+        sweep runner deduplicates with), and the ``(index, point)``
+        tuples :func:`repro.engine.sweep_check` threads internally are
+        unwrapped automatically, so one plan drives both ``sweep`` and
+        ``sweep_check``.
+    state_dir:
+        Directory for the attempt scoreboard.  Every injection check
+        claims the next ``<digest>.<n>`` file with ``O_CREAT|O_EXCL``,
+        which is atomic across processes — the count survives worker
+        kills and process-pool rebuilds.
+    """
+
+    def __init__(
+        self,
+        plan: Mapping[Any, Fault] | Iterable[Tuple[Any, Fault]],
+        state_dir: "os.PathLike[str] | str",
+    ) -> None:
+        items = plan.items() if isinstance(plan, Mapping) else plan
+        self.plan: Dict[str, Fault] = {
+            _canonical(point): fault for point, fault in items
+        }
+        self.state_dir = os.fspath(state_dir)
+        os.makedirs(self.state_dir, exist_ok=True)
+
+    @classmethod
+    def sample(
+        cls,
+        points: Iterable[Any],
+        fault: Fault,
+        state_dir: "os.PathLike[str] | str",
+        *,
+        rate: float = 0.1,
+        seed: int = 0,
+    ) -> "FaultInjector":
+        """Plan ``fault`` at a deterministic pseudo-random subset.
+
+        Each point is selected iff the SHA-256 of ``seed:identity``
+        maps below ``rate`` — a pure function of ``(seed, point)``, so
+        the same chaos run reproduces across machines and executors.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        chosen = []
+        for point in points:
+            key = _canonical(point)
+            digest = hashlib.sha256(f"{seed}:{key}".encode("utf-8")).digest()
+            if int.from_bytes(digest[:8], "big") / 2**64 < rate:
+                chosen.append((point, fault))
+        return cls(chosen, state_dir)
+
+    # -- matching / accounting --------------------------------------------
+
+    def _match(self, point: Any) -> Optional[Tuple[str, Fault]]:
+        key = _canonical(point)
+        fault = self.plan.get(key)
+        if fault is not None:
+            return key, fault
+        # sweep_check wraps points as (grid index, point); match inner.
+        if isinstance(point, tuple) and len(point) == 2:
+            key = _canonical(point[1])
+            fault = self.plan.get(key)
+            if fault is not None:
+                return key, fault
+        return None
+
+    def _claim_attempt(self, key: str) -> int:
+        """Atomically claim and return this point's next attempt number."""
+        digest = _digest(key)
+        attempt = 1
+        while True:
+            path = os.path.join(self.state_dir, f"{digest}.{attempt}")
+            try:
+                os.close(os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+                return attempt
+            except FileExistsError:
+                attempt += 1
+
+    def attempts(self, point: Any) -> int:
+        """How many injection checks this point has been through."""
+        digest = _digest(_canonical(point))
+        count = 0
+        while os.path.exists(
+            os.path.join(self.state_dir, f"{digest}.{count + 1}")
+        ):
+            count += 1
+        return count
+
+    def reset(self) -> None:
+        """Clear the scoreboard (a fresh chaos round)."""
+        for name in os.listdir(self.state_dir):
+            os.unlink(os.path.join(self.state_dir, name))
+
+    # -- wrapping ----------------------------------------------------------
+
+    def wrap(self, fn: Callable[[Any], Any]) -> "_InjectedFunction":
+        """A picklable callable: ``fn`` with this injection plan."""
+        return _InjectedFunction(fn, self)
+
+    def fire(self, point: Any) -> Optional[Any]:
+        """Apply the plan for one call at ``point``.
+
+        Returns ``None`` when the call should proceed normally, or a
+        one-element tuple ``(value,)`` when a ``corrupt`` fault wants
+        that value returned instead.  ``raise``/``hang``/``kill``
+        faults act directly.
+        """
+        match = self._match(point)
+        if match is None:
+            return None
+        key, fault = match
+        attempt = self._claim_attempt(key)
+        if fault.times is not None and attempt > fault.times:
+            return None
+        if fault.kind == "raise":
+            raise fault.exception(f"{fault.message} (attempt {attempt})")
+        if fault.kind == "hang":
+            time.sleep(fault.hang_seconds)
+            return None
+        if fault.kind == "kill":
+            os._exit(13)
+        return (fault.corrupt_value,)
+
+    def with_fault(self, point: Any, fault: Fault) -> "FaultInjector":
+        """Copy of this injector with one more planned fault."""
+        clone = FaultInjector({}, self.state_dir)
+        clone.plan = dict(self.plan)
+        clone.plan[_canonical(point)] = fault
+        return clone
+
+
+class _InjectedFunction:
+    """Module-level wrapper so injected sweep functions pickle."""
+
+    def __init__(self, fn: Callable[[Any], Any], injector: FaultInjector):
+        self.fn = fn
+        self.injector = injector
+
+    def __call__(self, point: Any) -> Any:
+        fired = self.injector.fire(point)
+        if fired is not None:  # corrupt fault: replace the value
+            return fired[0]
+        return self.fn(point)

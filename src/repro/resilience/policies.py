@@ -1,0 +1,182 @@
+"""Fault-tolerance policies for the sweep fabric.
+
+A sweep over a million scenario points is only as reliable as its
+worst point: one transient solver hiccup, one hung factorization, or
+one crashed worker must degrade to a *quarantined point*, never to a
+lost grid.  The two policies here are the knobs the fabric accepts:
+
+:class:`RetryPolicy`
+    How many times a failing point is re-attempted, how long to wait
+    between attempts (exponential backoff), and which exception types
+    are considered transient.  Backoff jitter is *deterministic*,
+    derived from the point's canonical key and the attempt number, so
+    a retried sweep is reproducible wave-for-wave — there is no
+    ambient randomness anywhere in the fabric.
+
+:class:`DeadlinePolicy`
+    The per-point wall-clock budget.  Serial and thread executors
+    enforce it with a watchdog (the point runs in a helper thread that
+    is abandoned when the deadline passes); the process executor
+    enforces it with :mod:`concurrent.futures` timeouts at the pool
+    level, escalating hung shards into the crash-recovery protocol of
+    :func:`repro.engine.sweep`.
+
+Both are frozen dataclasses with ``coerce`` constructors so call
+sites can pass bare numbers (``retry=3``, ``deadline=0.5``), and both
+are picklable, so the process executor can ship them into workers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional, Tuple, Type, Union
+
+__all__ = [
+    "DeadlineExceeded",
+    "RetryPolicy",
+    "DeadlinePolicy",
+]
+
+
+class DeadlineExceeded(TimeoutError):
+    """A sweep point exceeded its :class:`DeadlinePolicy` budget."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry budget and backoff schedule for one sweep point.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries per point (first attempt included); ``1`` disables
+        retries.
+    backoff:
+        Base delay in seconds before the second attempt; ``0`` retries
+        immediately.
+    backoff_factor:
+        Exponential growth of the delay between successive attempts.
+    max_backoff:
+        Upper clamp of any single delay.
+    jitter:
+        Relative spread (``0.1`` = +-10%) applied to each delay.  The
+        jitter is *deterministic*: it is derived from the point's
+        canonical key and the attempt number via SHA-256, so identical
+        sweeps sleep identically and sharded re-runs stay reproducible.
+    retry_on:
+        Exception types considered transient; anything not matching is
+        failed immediately.  :class:`DeadlineExceeded` is an ordinary
+        ``TimeoutError`` subclass, so the default ``(Exception,)``
+        retries deadline kills too (on the watchdog executors — the
+        process pool quarantines hard hangs without retry).
+    """
+
+    max_attempts: int = 3
+    backoff: float = 0.0
+    backoff_factor: float = 2.0
+    max_backoff: float = 30.0
+    jitter: float = 0.1
+    retry_on: Tuple[Type[BaseException], ...] = (Exception,)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {self.backoff}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+        if isinstance(self.retry_on, type):  # a bare exception class
+            object.__setattr__(self, "retry_on", (self.retry_on,))
+
+    def should_retry(self, exc: BaseException, attempt: int) -> bool:
+        """Is another attempt allowed after ``exc`` on try ``attempt``?"""
+        return attempt < self.max_attempts and isinstance(
+            exc, tuple(self.retry_on)
+        )
+
+    def delay(self, key: str, attempt: int) -> float:
+        """Deterministic backoff before attempt ``attempt + 1``.
+
+        ``key`` is the point's canonical identity (any stable string);
+        the jitter fraction is the SHA-256 of ``key:attempt`` mapped
+        into ``[-jitter, +jitter]``, so every (point, attempt) pair
+        sleeps the same duration on every run and no two points
+        synchronize their retry storms.
+        """
+        if self.backoff <= 0:
+            return 0.0
+        base = min(
+            self.backoff * self.backoff_factor ** (attempt - 1),
+            self.max_backoff,
+        )
+        if self.jitter <= 0:
+            return base
+        digest = hashlib.sha256(f"{key}:{attempt}".encode("utf-8")).digest()
+        unit = int.from_bytes(digest[:8], "big") / 2**64  # [0, 1)
+        return base * (1.0 + self.jitter * (2.0 * unit - 1.0))
+
+    @classmethod
+    def coerce(
+        cls, value: Union["RetryPolicy", int, None]
+    ) -> Optional["RetryPolicy"]:
+        """Accept a policy, a bare attempt count, or ``None`` (off)."""
+        if value is None or isinstance(value, cls):
+            return value
+        if isinstance(value, bool):  # bool is an int; reject explicitly
+            raise TypeError("retry must be a RetryPolicy, int, or None")
+        if isinstance(value, int):
+            return cls(max_attempts=value)
+        raise TypeError(
+            f"retry must be a RetryPolicy, int, or None,"
+            f" got {type(value).__name__}"
+        )
+
+
+@dataclass(frozen=True)
+class DeadlinePolicy:
+    """Per-point wall-clock budget for one sweep.
+
+    Parameters
+    ----------
+    timeout:
+        Seconds one point may run before it is killed.  Serial/thread
+        executors abandon the point's watchdog thread and raise
+        :class:`DeadlineExceeded` (retryable under a
+        :class:`RetryPolicy` whose ``retry_on`` matches); the process
+        executor waits on shard futures with a budget derived from
+        this and escalates overruns into pool teardown + shard
+        bisection, quarantining the hung point.
+    grace:
+        Extra allowance (seconds) added to pool-level waits for worker
+        startup and dispatch; irrelevant to the watchdog executors.
+    """
+
+    timeout: float
+    grace: float = 5.0
+
+    def __post_init__(self) -> None:
+        if not self.timeout > 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+        if self.grace < 0:
+            raise ValueError(f"grace must be >= 0, got {self.grace}")
+
+    @classmethod
+    def coerce(
+        cls, value: Union["DeadlinePolicy", float, int, None]
+    ) -> Optional["DeadlinePolicy"]:
+        """Accept a policy, a bare timeout in seconds, or ``None``."""
+        if value is None or isinstance(value, cls):
+            return value
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return cls(timeout=float(value))
+        raise TypeError(
+            f"deadline must be a DeadlinePolicy, a number of seconds,"
+            f" or None, got {type(value).__name__}"
+        )

@@ -206,7 +206,19 @@ def _decode_value(payload: str) -> Any:
         raise StoreError(f"unknown stored value kind {kind!r}")
     data = wrapped["data"]
     names = {f.name for f in fields(cls)}
-    return cls(**{k: v for k, v in data.items() if k in names})
+    data = {k: v for k, v in data.items() if k in names}
+    # Validation warnings are nested dataclasses: JSON flattens them to
+    # dicts, so rebuild the records for a bit-equal warm round-trip.
+    if data.get("warnings"):
+        from ..resilience.validate import ValidationWarning
+
+        data["warnings"] = tuple(
+            ValidationWarning(**w) if isinstance(w, dict) else w
+            for w in data["warnings"]
+        )
+    elif "warnings" in data:
+        data["warnings"] = ()
+    return cls(**data)
 
 
 @dataclass

@@ -6,6 +6,8 @@ Subcommands::
     repro-zoo build mimo-1xN -p num_rx=2 -p snr_db=6.0 --verify
     repro-zoo sweep mimo-1xN -g snr_db=4,6,8 --backend apmc
     repro-zoo sweep mimo-1xN -g snr_db=4,6,8 --store results.sqlite
+    repro-zoo sweep mimo-1xN -g snr_db=4,6,8 --retries 2 --point-timeout 60
+    repro-zoo sweep mimo-1xN -g snr_db=4,6,8 --store results.sqlite --resume
     repro-zoo survey --backend exact [--store results.sqlite]
     repro-zoo store stats --store results.sqlite
     repro-zoo store query --store results.sqlite --family mimo-1xN
@@ -17,6 +19,14 @@ as a Python literal when possible); ``-g/--grid`` names one sweep axis
 survey results in a persistent sqlite guarantee store — warm repeats
 are reported as cache hits; the ``store`` subcommands inspect and
 maintain such a file.
+
+``--retries``/``--backoff``/``--point-timeout`` arm the fault-tolerant
+fabric (:mod:`repro.resilience`): transient point failures are retried
+with exponential backoff and hung points are killed at the deadline,
+both quarantined into the result table instead of sinking the sweep.
+``--resume`` re-runs an interrupted sweep against its ``--store``
+checkpoint, recomputing only the missing points; the sweep report
+printed after every run shows the cached/recomputed split.
 """
 
 from __future__ import annotations
@@ -28,6 +38,7 @@ from typing import Any, Dict, Iterable, List, Optional
 
 from ..engine import SmcConfig
 from ..experiments.report import format_table
+from ..resilience import RetryPolicy, SweepReport
 from . import pipeline, registry
 from .sweep import survey as _survey
 from .sweep import sweep as _sweep
@@ -124,15 +135,29 @@ def _open_store(args: argparse.Namespace):
     return ResultStore(args.store)
 
 
+def _parse_policies(args: argparse.Namespace):
+    """Build (retry, deadline) policies from the resilience flags."""
+    retry = None
+    if getattr(args, "retries", 0):
+        retry = RetryPolicy(
+            max_attempts=args.retries + 1, backoff=args.backoff
+        )
+    return retry, getattr(args, "point_timeout", None)
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.backend == "sprt" and args.theta is None:
         print("error: --backend sprt requires --theta", file=sys.stderr)
+        return 2
+    if args.resume and args.store is None:
+        print("error: --resume requires --store PATH", file=sys.stderr)
         return 2
     axes = _parse_axes(args.grid)
     smc = SmcConfig(
         epsilon=args.epsilon, delta=args.delta, seed=args.seed
     )
     store = _open_store(args)
+    retry, deadline = _parse_policies(args)
     results = _sweep(
         args.family,
         axes=axes or None,
@@ -145,6 +170,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         executor=args.executor,
         shard_size=args.shard_size,
         store=store,
+        retry=retry,
+        deadline=deadline,
     )
     rows = []
     failures = 0
@@ -153,7 +180,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         point = " ".join(f"{k}={v}" for k, v in sorted(result.point.items())) or "<defaults>"
         hits += result.cached
         if result.ok:
-            rows.append([point, _render_value(result.value), f"{result.seconds:.3f}"])
+            rendered = _render_value(result.value)
+            if result.warnings:
+                rendered += f"  !! {len(result.warnings)} warning(s)"
+            rows.append([point, rendered, f"{result.seconds:.3f}"])
         else:
             failures += 1
             rows.append([point, f"ERROR {result.error}", f"{result.seconds:.3f}"])
@@ -164,14 +194,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f" (backend={args.backend}, formula="
         f"{args.formula or registry.get_model(args.family).default_property!r})"
     )
+    print(SweepReport.from_results(results).describe())
     return 1 if failures else 0
 
 
 def _cmd_survey(args: argparse.Namespace) -> int:
     store = _open_store(args)
+    retry, deadline = _parse_policies(args)
     results = _survey(
         tag=args.tag, backend=args.backend, executor=args.executor,
-        store=store,
+        store=store, retry=retry, deadline=deadline,
     )
     rows = []
     failures = 0
@@ -224,6 +256,21 @@ def _cmd_store(args: argparse.Namespace) -> int:
     )
     print(f"invalidated {removed} cached result(s) in {args.store}")
     return 0
+
+
+def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry each failing point up to N extra times (default 0)",
+    )
+    parser.add_argument(
+        "--backoff", type=float, default=0.0, metavar="SECONDS",
+        help="base exponential-backoff delay between retries (default 0)",
+    )
+    parser.add_argument(
+        "--point-timeout", type=float, metavar="SECONDS",
+        help="wall-clock deadline per point; overruns are quarantined",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -294,6 +341,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--store", metavar="PATH",
         help="read-through cache sweep results in this sqlite guarantee store",
     )
+    p_sweep.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted sweep from --store, recomputing"
+             " only the points the checkpoint is missing",
+    )
+    _add_resilience_flags(p_sweep)
     p_sweep.set_defaults(fn=_cmd_sweep)
 
     p_survey = sub.add_parser(
@@ -310,6 +363,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--store", metavar="PATH",
         help="read-through cache survey results in this sqlite guarantee store",
     )
+    _add_resilience_flags(p_survey)
     p_survey.set_defaults(fn=_cmd_survey)
 
     p_store = sub.add_parser(

@@ -92,6 +92,9 @@ def sweep(
     on_error: str = "capture",
     shard_size: Optional[int] = None,
     store=None,
+    retry=None,
+    deadline=None,
+    validate: bool = True,
 ) -> List[SweepResult]:
     """Check ``formula`` across a parameter grid of one family.
 
@@ -120,6 +123,15 @@ def sweep(
     store:
         Optional :class:`repro.store.ResultStore` — hits are served
         from it (``SweepResult.cached``) and misses banked back.
+    retry / deadline:
+        Fault-tolerance policies (:class:`repro.engine.RetryPolicy` /
+        :class:`repro.engine.DeadlinePolicy`, or a bare attempt count /
+        timeout in seconds) applied per point; see
+        :mod:`repro.resilience`.
+    validate:
+        Run :func:`repro.resilience.validate_guarantee` on every
+        successful value, attaching ``SweepResult.warnings`` (default
+        on).
 
     Returns the ordered :class:`~repro.engine.SweepResult` list; each
     result's ``point`` is the per-point parameter dict.
@@ -160,6 +172,9 @@ def sweep(
         store=store,
         store_key=store_key,
         store_extra={"family": family} if store is not None else None,
+        retry=retry,
+        deadline=deadline,
+        validate=validate,
     )
 
 
@@ -169,6 +184,8 @@ def _survey_family(
     backend: str,
     smc: Optional[SmcConfig],
     store,
+    retry=None,
+    deadline=None,
 ) -> SweepResult:
     """One survey cell: a family checked at its defaults.
 
@@ -189,6 +206,8 @@ def _survey_family(
         executor="serial",
         on_error="capture",
         store=store,
+        retry=retry,
+        deadline=deadline,
     )[0]
 
 
@@ -200,6 +219,8 @@ def survey(
     executor: str = "thread",
     max_workers: Optional[int] = None,
     store=None,
+    retry=None,
+    deadline=None,
 ) -> Dict[str, SweepResult]:
     """Check every registered family at its defaults.
 
@@ -209,11 +230,14 @@ def survey(
     result keeps its parameter-dict ``point`` untouched and carries
     the family name in the dedicated ``label`` field.  Failures are
     captured per family, never raised — a zoo-wide health check rather
-    than an experiment.  ``store`` read-through caches every cell.
+    than an experiment.  ``store`` read-through caches every cell;
+    ``retry``/``deadline`` apply per family exactly as in
+    :func:`sweep`.
     """
     families = list_models(tag=tag)
     runner = functools.partial(
-        _survey_family, backend=backend, smc=smc, store=store
+        _survey_family, backend=backend, smc=smc, store=store,
+        retry=retry, deadline=deadline,
     )
     outcomes = engine_sweep(
         runner,

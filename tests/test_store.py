@@ -510,14 +510,16 @@ class TestShardedProcessSweep:
     def test_shard_helper_covers_and_orders(self):
         points = list(range(10))
         shards = _shard(points, workers=2, shard_size=3)
-        assert [len(s) for s in shards] == [3, 3, 3, 1]
-        assert [x for s in shards for x in s] == points
+        assert [stop - start for start, stop in shards] == [3, 3, 3, 1]
+        covered = [i for start, stop in shards for i in range(start, stop)]
+        assert covered == list(range(len(points)))
 
     def test_shard_default_targets_four_per_worker(self):
         shards = _shard(list(range(100)), workers=4, shard_size=None)
         # ceil(100 / (4 workers * 4)) = 7 points per shard, 15 shards.
-        assert [len(s) for s in shards[:-1]] == [7] * 14
-        assert [x for s in shards for x in s] == list(range(100))
+        assert [stop - start for start, stop in shards[:-1]] == [7] * 14
+        covered = [i for start, stop in shards for i in range(start, stop)]
+        assert covered == list(range(100))
 
     def test_shard_size_must_be_positive(self):
         with pytest.raises(ValueError, match="shard_size"):
