@@ -1,0 +1,173 @@
+"""Benchmarks of the networked guarantee service (ISSUE 8 acceptance).
+
+Two bars, reported in ``BENCH_service.json`` for the CI regression
+guard:
+
+* a **warm** ``GET /guarantee`` hit must be answered straight from the
+  store — asserted by checking no coordinator job is created — and its
+  end-to-end HTTP latency is the tracked number;
+* a 2-worker **remote** sweep must produce results bit-identical to
+  the serial path (values, samples, ordering); the serial and remote
+  wall-clocks land in ``extra_info`` so the throughput trend is
+  tracked across CI runs without asserting on machine speed.
+
+The fleet is real: two ``python -m repro.zoo worker`` subprocesses
+pulling shard leases over TCP, exactly what ``repro-zoo serve
+--workers 2`` starts.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from dataclasses import asdict
+
+import pytest
+
+import repro
+from repro import zoo
+from repro.engine import SmcConfig
+from repro.service import CoordinatorServer, Frontend, FrontendServer
+from repro.service.client import service_stats
+from repro.store import ResultStore
+
+FORMULA = "P=? [ F<=100 goal ]"
+
+#: The remote-throughput grid: 30 statistical birth-death points.
+POINTS = [
+    {"p_up": round(0.05 + 0.02 * i, 2), "n": n}
+    for i in range(10)
+    for n in (8, 16, 24)
+]
+
+SMC = SmcConfig(epsilon=0.1, delta=0.2, seed=0)
+
+#: Wall-clock of each flavour, recorded for ``extra_info`` reporting.
+_SECONDS = {}
+
+
+def _timed(label, fn):
+    def run():
+        start = time.perf_counter()
+        result = fn()
+        _SECONDS[label] = min(
+            _SECONDS.get(label, float("inf")), time.perf_counter() - start
+        )
+        return result
+
+    return run
+
+
+def _get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=30) as resp:
+            return resp.status, json.load(resp)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.load(exc)
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    """Coordinator + HTTP front-end + 2 real worker subprocesses."""
+    store = ResultStore(
+        tmp_path_factory.mktemp("bench-service") / "bench.sqlite"
+    )
+    server = CoordinatorServer(port=0, heartbeat=0.2).start()
+    env = dict(os.environ)
+    src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    workers = [
+        subprocess.Popen(
+            [sys.executable, "-m", "repro.zoo", "worker",
+             "--connect", server.address, "--name", f"bench-{i}"],
+            env=env,
+        )
+        for i in range(2)
+    ]
+    deadline = time.time() + 60.0
+    while time.time() < deadline:
+        if service_stats(server.address)["workers_alive"] >= 2:
+            break
+        time.sleep(0.1)
+    assert service_stats(server.address)["workers_alive"] == 2
+    front = FrontendServer(
+        Frontend(server.coordinator, store=store), port=0
+    ).start_background()
+    try:
+        yield server, front, store
+    finally:
+        for proc in workers:
+            proc.terminate()
+        for proc in workers:
+            try:
+                proc.wait(timeout=10)
+            except Exception:  # noqa: BLE001 - last resort, no orphans
+                proc.kill()
+        front.stop()
+        server.stop()
+        store.close()
+
+
+def test_bench_service_warm_guarantee_hit(benchmark, service):
+    """Warm ``/guarantee`` HTTP latency: store hit, engine untouched."""
+    server, front, store = service
+    query = f"http://{front.address}/guarantee?family=birth-death&n=12"
+
+    status, body = _get(query)  # cold: enqueued on the fleet
+    if status == 202:
+        deadline = time.time() + 60.0
+        while time.time() < deadline:
+            _, job = _get(f"http://{front.address}{body['poll']}")
+            if job["done"]:
+                break
+            time.sleep(0.05)
+        while time.time() < deadline and len(store) == 0:
+            time.sleep(0.05)  # banking runs on the job-done callback
+
+    jobs_before = len(server.coordinator.jobs)
+    status, warm = benchmark(_timed("warm_hit", lambda: _get(query)))
+    assert status == 200 and warm["cached"], warm
+    # The serving bar: warm hits never touch the engine — no new jobs.
+    assert len(server.coordinator.jobs) == jobs_before
+    benchmark.extra_info["warm_hit_seconds"] = _SECONDS["warm_hit"]
+
+
+def test_bench_service_remote_sweep_vs_serial(benchmark, service):
+    """2-worker remote throughput; the merge contract is the assert.
+
+    Remote results must be bit-identical (points, estimates, samples,
+    order) to the serial path.  Serial/remote wall-clocks land in
+    ``extra_info`` so the trend is tracked without asserting on core
+    counts or network jitter.
+    """
+    server, front, store = service
+    kwargs = dict(
+        points=POINTS, formula=FORMULA, backend="apmc", smc=SMC
+    )
+
+    serial = _timed(
+        "serial", lambda: zoo.sweep("birth-death", executor="serial", **kwargs)
+    )()
+    remote = benchmark.pedantic(
+        _timed(
+            "remote",
+            lambda: zoo.sweep(
+                "birth-death", executor="remote",
+                remote=server.address, **kwargs,
+            ),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["serial_seconds"] = _SECONDS["serial"]
+    benchmark.extra_info["remote_seconds"] = _SECONDS["remote"]
+    benchmark.extra_info["points"] = len(POINTS)
+    benchmark.extra_info["workers"] = 2
+    assert all(r.ok for r in remote)
+    assert [r.point for r in remote] == [r.point for r in serial]
+    assert [asdict(r.value) for r in remote] == [
+        asdict(r.value) for r in serial
+    ]

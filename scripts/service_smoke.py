@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""CI smoke of the networked guarantee service (ISSUE 8 acceptance).
+
+One honest end-to-end pass with *real worker processes*:
+
+1. start a coordinator, an HTTP front-end, and two ``repro-zoo
+   worker`` subprocesses;
+2. run a 30-point remote sweep; once the first worker has completed a
+   couple of shards, SIGKILL it mid-sweep;
+3. assert the sweep still completes with results **bit-identical** to
+   a serial run of the same seeded grid (the dead worker's leases were
+   reassigned);
+4. assert ``GET /healthz`` reports the fleet as degraded and names the
+   dead worker, while ``GET /stats`` still serves;
+5. exercise the serving path: a ``GET /guarantee`` miss returns 202
+   with a pollable job, completes on the surviving worker, is banked
+   to the store, and the repeat query is a warm 200 hit;
+6. SIGTERM the surviving worker and assert it exits 0 (the graceful
+   deregister path), then stop the servers — no orphans.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/service_smoke.py
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+from repro.engine import SmcConfig  # noqa: E402
+from repro.service import (  # noqa: E402
+    CoordinatorServer,
+    Frontend,
+    FrontendServer,
+)
+from repro.service.client import service_stats  # noqa: E402
+from repro.store import ResultStore  # noqa: E402
+from repro.zoo import sweep as zoo_sweep  # noqa: E402
+
+GRID = {"snr_db": [float(snr) for snr in range(1, 31)]}  # 30 points
+SMC = SmcConfig(epsilon=0.1, delta=0.1, seed=3)
+
+
+def _get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=30) as resp:
+            return resp.status, json.load(resp)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.load(exc)
+
+
+def main() -> int:
+    env = dict(os.environ)
+    src_root = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..", "src"
+    )
+    env["PYTHONPATH"] = (
+        os.path.abspath(src_root) + os.pathsep + env.get("PYTHONPATH", "")
+    )
+
+    server = CoordinatorServer(port=0, heartbeat=0.2).start()
+    print(f"coordinator on {server.address}")
+    workers = [
+        subprocess.Popen(
+            [sys.executable, "-m", "repro.zoo", "worker",
+             "--connect", server.address, "--name", f"smoke-{i}"],
+            env=env,
+        )
+        for i in range(2)
+    ]
+    store_path = os.path.join(tempfile.mkdtemp(prefix="service-smoke-"), "smoke.sqlite")
+    store = ResultStore(store_path)
+    front = FrontendServer(
+        Frontend(server.coordinator, store=store), port=0
+    ).start_background()
+    print(f"front-end on http://{front.address}")
+
+    deadline = time.time() + 60.0
+    while time.time() < deadline:
+        if service_stats(server.address)["workers_alive"] >= 2:
+            break
+        time.sleep(0.2)
+    stats = service_stats(server.address)
+    assert stats["workers_alive"] == 2, f"fleet never came up: {stats}"
+    print("2 workers registered")
+
+    # SIGKILL the first worker once it has served at least 2 shards.
+    victim = workers[0]
+    killed = threading.Event()
+
+    def _assassin() -> None:
+        while not killed.is_set():
+            for snapshot in service_stats(server.address)["workers"]:
+                if snapshot["pid"] == victim.pid and snapshot["shards_done"] >= 2:
+                    os.kill(victim.pid, signal.SIGKILL)
+                    killed.set()
+                    print(f"SIGKILLed worker pid={victim.pid} mid-sweep")
+                    return
+            time.sleep(0.02)
+
+    threading.Thread(target=_assassin, daemon=True).start()
+
+    kwargs = dict(axes=GRID, backend="apmc", smc=SMC)
+    serial = zoo_sweep("mimo-1xN", executor="serial", **kwargs)
+    remote = zoo_sweep(
+        "mimo-1xN", executor="remote", remote=server.address,
+        shard_size=1, **kwargs,
+    )
+    assert killed.wait(timeout=30), "worker was never killed mid-sweep"
+    assert victim.wait(timeout=10) == -signal.SIGKILL
+
+    serial_values = [(r.value.estimate, r.value.samples) for r in serial]
+    remote_values = [(r.value.estimate, r.value.samples) for r in remote]
+    assert all(r.ok for r in remote), [r.error for r in remote if not r.ok]
+    assert remote_values == serial_values, "remote sweep NOT bit-identical"
+    print(f"remote sweep bit-identical to serial across {len(GRID['snr_db'])} points")
+
+    status, health = _get(f"http://{front.address}/healthz")
+    assert status == 200, health
+    assert health["status"] == "degraded", health
+    assert any(d["pid"] == victim.pid for d in health["dead"]), health
+    print(f"healthz reports the dead worker: {health['dead'][0]['name']}")
+    status, stats_body = _get(f"http://{front.address}/stats")
+    assert status == 200 and stats_body["coordinator"]["workers_alive"] == 1
+
+    # Serving path: miss -> 202 + poll -> banked -> warm 200 hit.
+    query = "family=birth-death&n=12"
+    status, body = _get(f"http://{front.address}/guarantee?{query}")
+    assert status == 202 and not body["cached"], body
+    poll_url = f"http://{front.address}{body['poll']}"
+    deadline = time.time() + 60.0
+    while time.time() < deadline:
+        status, job = _get(poll_url)
+        if job["done"]:
+            break
+        time.sleep(0.1)
+    assert job["done"] and job["results"][0]["ok"], job
+    deadline = time.time() + 15.0
+    while time.time() < deadline and len(store) == 0:
+        time.sleep(0.1)  # banking runs on the job-done callback thread
+    status, warm = _get(f"http://{front.address}/guarantee?{query}")
+    assert status == 200 and warm["cached"], warm
+    assert warm["value"] == job["results"][0]["value"], (warm, job)
+    print("guarantee miss -> job -> banked -> warm hit OK")
+
+    # Graceful shutdown: SIGTERM deregisters and exits 0 (the Ctrl-C
+    # path), unlike a coordinator-ordered die which is a hard exit.
+    workers[1].send_signal(signal.SIGTERM)
+    assert workers[1].wait(timeout=15) == 0, "surviving worker did not exit cleanly"
+    front.stop()
+    server.stop()
+    store.close()
+    print("clean shutdown, no orphaned workers")
+    print("SERVICE SMOKE OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

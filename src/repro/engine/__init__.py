@@ -18,6 +18,8 @@ from .config import ITERATIVE_METHODS, SOLVER_METHODS, SmcConfig, SolverConfig
 from .core import Engine, EngineStats, default_engine
 from .sweep import (
     CHECK_BACKENDS,
+    EXECUTORS,
+    SweepInterrupted,
     SweepResult,
     grid,
     sweep,
@@ -34,7 +36,9 @@ __all__ = [
     "EngineStats",
     "default_engine",
     "CHECK_BACKENDS",
+    "EXECUTORS",
     "SweepResult",
+    "SweepInterrupted",
     "grid",
     "sweep",
     "sweep_check",

@@ -86,18 +86,41 @@ from .config import SmcConfig
 
 __all__ = [
     "SweepResult",
+    "SweepInterrupted",
     "grid",
     "sweep",
     "sweep_values",
     "sweep_check",
     "CHECK_BACKENDS",
+    "EXECUTORS",
 ]
 
-_EXECUTORS = ("serial", "thread", "process")
+#: Every sweep executor: in-process serial/thread, the sharded process
+#: pool, and the networked worker fleet of :mod:`repro.service`.
+EXECUTORS = ("serial", "thread", "process", "remote")
+
+_EXECUTORS = EXECUTORS
 
 #: Checking backends of :func:`sweep_check`: the exact solver engine,
 #: the Hoeffding estimator, and the sequential probability ratio test.
 CHECK_BACKENDS = ("exact", "apmc", "sprt")
+
+
+class SweepInterrupted(KeyboardInterrupt):
+    """Ctrl-C landed mid-sweep; ``partial`` holds what had finished.
+
+    Every runner converts a ``KeyboardInterrupt`` into this after
+    shutting its workers down cleanly (pools terminated, remote jobs
+    cancelled — no orphaned processes), so callers can salvage the
+    completed :class:`SweepResult` list: :func:`sweep_check` banks the
+    successful partials into its :class:`~repro.store.ResultStore`
+    before re-raising, which is what makes a Ctrl-C'd ``--store`` sweep
+    resumable with ``--resume``.
+    """
+
+    def __init__(self, partial: List["SweepResult"]):
+        super().__init__(f"sweep interrupted with {len(partial)} point(s) done")
+        self.partial = partial
 
 
 @dataclass
@@ -348,6 +371,35 @@ def _process_sweep(
     strikes: Dict[int, int] = {}
     pending: List[Tuple[int, int]] = _shard(points, workers, shard_size)
     isolate = False
+    try:
+        results = _process_waves(
+            fn, points, pending, workers=workers, retry=retry,
+            deadline=deadline, results=results, strikes=strikes,
+            isolate=isolate,
+        )
+    except KeyboardInterrupt:
+        # Each wave's ``finally`` already tore its pool down (no
+        # orphaned workers); salvage what completed, in grid order.
+        raise SweepInterrupted(
+            [results[index] for index in sorted(results)]
+        ) from None
+    return [results[index] for index in range(len(points))]
+
+
+def _process_waves(
+    fn: Callable[[Any], Any],
+    points: Sequence[Any],
+    pending: List[Tuple[int, int]],
+    *,
+    workers: int,
+    retry: Optional[RetryPolicy],
+    deadline: Optional[DeadlinePolicy],
+    results: Dict[int, SweepResult],
+    strikes: Dict[int, int],
+    isolate: bool,
+) -> Dict[int, SweepResult]:
+    """The wave loop of :func:`_process_sweep`; fills ``results`` in
+    place (so an interrupt can salvage partials) and returns it."""
     while pending:
         if isolate:  # one suspect range per wave: unambiguous blame
             wave, pending = [pending[0]], pending[1:]
@@ -411,7 +463,7 @@ def _process_sweep(
             else:  # bisect: halve the suspect range and requeue
                 mid = (start + stop) // 2
                 pending.extend([(start, mid), (mid, stop)])
-    return [results[index] for index in range(len(points))]
+    return results
 
 
 def sweep(
@@ -424,6 +476,7 @@ def sweep(
     shard_size: Optional[int] = None,
     retry: Union[RetryPolicy, int, None] = None,
     deadline: Union[DeadlinePolicy, float, None] = None,
+    remote: Optional[str] = None,
 ) -> List[SweepResult]:
     """Evaluate ``fn`` on every point, fanning across workers.
 
@@ -436,16 +489,28 @@ def sweep(
     ``executor="process"`` fans *shards* (contiguous chunks of
     ``shard_size`` points, see :func:`_shard`) through a
     :class:`~concurrent.futures.ProcessPoolExecutor` and merges the
-    ordered shard results; ``shard_size`` is ignored by the other
-    executors, where per-point submission is already cheap.  The
+    ordered shard results; ``shard_size`` is ignored by the serial and
+    thread executors, where per-point submission is already cheap.  The
     process path survives worker crashes and pool-level deadline
     overruns — see :func:`_process_sweep`.
+
+    ``executor="remote"`` ships the sweep to a
+    :class:`~repro.service.Coordinator` worker fleet (``remote`` names
+    its ``HOST:PORT`` address, or the ``REPRO_COORDINATOR`` environment
+    variable does): workers pull shard leases, dead workers have their
+    leases reassigned, and the merged results are bit-identical to the
+    serial path — see :mod:`repro.service`.  ``fn`` must be picklable,
+    exactly as for the process executor.
 
     ``retry`` (a :class:`~repro.resilience.RetryPolicy` or a bare
     attempt count) re-attempts transient failures per point;
     ``deadline`` (a :class:`~repro.resilience.DeadlinePolicy` or bare
     seconds) bounds each point's wall-clock.  Both default to off, in
     which case this runner behaves exactly as it always has.
+
+    A Ctrl-C lands as :class:`SweepInterrupted` after the executor has
+    shut down cleanly (pools terminated, remote job cancelled — no
+    orphaned workers), carrying the completed partial results.
     """
     if executor not in _EXECUTORS:
         raise ValueError(
@@ -456,8 +521,30 @@ def sweep(
     retry = RetryPolicy.coerce(retry)
     deadline = DeadlinePolicy.coerce(deadline)
     points = list(points)
-    if executor == "serial" or len(points) <= 1:
-        results = [_run_point(fn, point, retry, deadline) for point in points]
+    if executor == "remote":
+        from ..service.client import remote_sweep  # deferred: avoid cycle
+
+        address = remote or os.environ.get("REPRO_COORDINATOR")
+        if not address:
+            raise ValueError(
+                "executor='remote' needs a coordinator address:"
+                " pass remote='HOST:PORT' or set REPRO_COORDINATOR"
+            )
+        results = remote_sweep(
+            fn,
+            points,
+            connect=address,
+            shard_size=shard_size,
+            retry=retry,
+            deadline=deadline,
+        )
+    elif executor == "serial" or len(points) <= 1:
+        results = []
+        try:
+            for point in points:
+                results.append(_run_point(fn, point, retry, deadline))
+        except KeyboardInterrupt:
+            raise SweepInterrupted(results) from None
     elif executor == "process":
         workers = max_workers or min(len(points), os.cpu_count() or 1)
         results = _process_sweep(
@@ -470,12 +557,24 @@ def sweep(
         )
     else:
         workers = max_workers or min(len(points), os.cpu_count() or 1)
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(_run_point, fn, point, retry, deadline)
-                for point in points
-            ]
+        pool = ThreadPoolExecutor(max_workers=workers)
+        futures = [
+            pool.submit(_run_point, fn, point, retry, deadline)
+            for point in points
+        ]
+        try:
             results = [future.result() for future in futures]
+        except KeyboardInterrupt:
+            pool.shutdown(wait=False, cancel_futures=True)
+            partial = [
+                future.result()
+                for future in futures
+                if future.done()
+                and not future.cancelled()
+                and future.exception() is None
+            ]
+            raise SweepInterrupted(partial) from None
+        pool.shutdown(wait=True)
     if on_error == "raise":
         for result in results:
             if not result.ok:
@@ -554,6 +653,7 @@ def sweep_check(
     store_extra: Optional[Dict[str, Any]] = None,
     retry: Union[RetryPolicy, int, None] = None,
     deadline: Union[DeadlinePolicy, float, None] = None,
+    remote: Optional[str] = None,
     validate: bool = True,
 ) -> List[SweepResult]:
     """Check one pCTL ``formula`` across a grid of models.
@@ -617,6 +717,12 @@ def sweep_check(
         raise ValueError(
             f"unknown backend {backend!r}; choose from {', '.join(CHECK_BACKENDS)}"
         )
+    if executor not in _EXECUTORS:
+        # Fail before any store traffic or seed spawning, with the full
+        # executor list — not a deep error out of the runner.
+        raise ValueError(
+            f"unknown executor {executor!r}; choose from {', '.join(_EXECUTORS)}"
+        )
     if backend == "sprt" and theta is None:
         raise ValueError("backend='sprt' needs a threshold theta")
     points = list(points)
@@ -670,16 +776,35 @@ def sweep_check(
         solver=solver,
         seeds=seeds,
     )
-    computed = sweep(
-        run,
-        [(index, points[index]) for index in misses],
-        executor=executor,
-        max_workers=max_workers,
-        on_error="capture",
-        shard_size=shard_size,
-        retry=retry,
-        deadline=deadline,
-    )
+    try:
+        computed = sweep(
+            run,
+            [(index, points[index]) for index in misses],
+            executor=executor,
+            max_workers=max_workers,
+            on_error="capture",
+            shard_size=shard_size,
+            retry=retry,
+            deadline=deadline,
+            remote=remote,
+        )
+    except SweepInterrupted as interrupt:
+        # Ctrl-C: bank every successful partial before propagating, so
+        # a --store sweep resumes from exactly where it was cut off.
+        if store is not None:
+            for result in interrupt.partial:
+                if result.ok and isinstance(result.point, tuple):
+                    index = result.point[0]
+                    store.put(
+                        scenario_ids[index],
+                        formula,
+                        result.value,
+                        backend=backend,
+                        config=fingerprint,
+                        seconds=result.seconds,
+                        extra=store_extra,
+                    )
+        raise
     for index, result in zip(misses, computed):
         result.point = result.point[1]  # unwrap the (index, point) plumbing
         by_index[index] = result

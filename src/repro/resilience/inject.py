@@ -218,6 +218,22 @@ class FaultInjector:
         clone.plan[_canonical(point)] = fault
         return clone
 
+    @staticmethod
+    def kill_remote(connect: str, worker: Optional[str] = None) -> str:
+        """Kill one networked sweep worker over the wire.
+
+        The distributed twin of ``Fault(kind="kill")``: asks the
+        coordinator at ``connect`` to order ``worker`` (an id from
+        ``/stats``, or any live worker when ``None``) to ``os._exit``
+        on its next poll — no cleanup, exactly a SIGKILL's footprint.
+        The coordinator's reaper then reassigns the victim's leases,
+        which is the recovery path chaos tests exist to exercise.
+        Returns the condemned worker's id.
+        """
+        from ..service.client import kill_worker
+
+        return kill_worker(connect, worker)
+
 
 class _InjectedFunction:
     """Module-level wrapper so injected sweep functions pickle."""

@@ -1,0 +1,46 @@
+"""Networked guarantee service: coordinator, workers, HTTP front-end.
+
+The distributed half of the guarantee pipeline, stdlib networking only
+(framed JSON over TCP between coordinator and workers, a hand-rolled
+:mod:`asyncio` HTTP front door for clients):
+
+* :mod:`repro.service.wire` — the framed-message protocol and the
+  result codec (reusing the store's tagged encoding, so remote results
+  are cache-compatible with local ones);
+* :mod:`repro.service.coordinator` — shard leases, heartbeats, lease
+  reassignment/bisection/quarantine on worker death;
+* :mod:`repro.service.worker` — the ``repro-zoo worker`` loop,
+  executing leases through the ordinary sweep fabric;
+* :mod:`repro.service.client` — :func:`remote_sweep`, the transport
+  behind ``executor="remote"`` in :func:`repro.engine.sweep`;
+* :mod:`repro.service.frontend` — ``repro-zoo serve``: ``/guarantee``
+  answered straight from the :class:`~repro.store.ResultStore` on a
+  hit, enqueued on the fleet on a miss.
+
+The merged output of a remote sweep is bit-identical to the serial
+path: per-point seed streams are spawned by grid index before
+anything ships, and results merge first-write-wins by that index.
+"""
+
+from .client import kill_worker, remote_sweep, service_stats
+from .coordinator import Coordinator, CoordinatorServer, free_port
+from .frontend import Frontend, FrontendServer
+from .wire import PROTOCOL_VERSION, WireError, parse_address, request
+from .worker import Worker, run_worker
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "WireError",
+    "parse_address",
+    "request",
+    "Coordinator",
+    "CoordinatorServer",
+    "free_port",
+    "Worker",
+    "run_worker",
+    "remote_sweep",
+    "service_stats",
+    "kill_worker",
+    "Frontend",
+    "FrontendServer",
+]

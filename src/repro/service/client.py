@@ -1,0 +1,135 @@
+"""Client side of ``executor="remote"``: submit, poll, merge.
+
+:func:`remote_sweep` is what :func:`repro.engine.sweep` calls when a
+sweep names the remote executor: the sweep function and point list are
+shipped to a coordinator, workers chew through shard leases, and the
+client polls until every global index is accounted for — as a decoded
+:class:`~repro.engine.SweepResult` streamed back by a worker, or as a
+quarantine record for a point that kept killing its workers.  The
+merge is by grid index, so the returned list is bit-identical to the
+serial path (per-point seed streams are already spawned by index; no
+part of a point's computation depends on where it ran).
+
+Ctrl-C cancels the job on the coordinator (workers finish their
+current shard and go idle; nothing is orphaned) and raises
+:class:`~repro.engine.SweepInterrupted` carrying every already-merged
+result, so :func:`repro.engine.sweep_check` can bank the partials
+before the interrupt propagates.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..engine.sweep import SweepInterrupted, SweepResult
+from ..resilience.policies import DeadlinePolicy, RetryPolicy
+from .wire import decode_result, encode, request
+
+__all__ = ["remote_sweep", "service_stats", "kill_worker"]
+
+
+def _merge(
+    points: Sequence[Any], snapshot: Dict[str, Any]
+) -> Dict[int, SweepResult]:
+    """Decode one job snapshot into ``{index: SweepResult}``."""
+    merged: Dict[int, SweepResult] = {}
+    for text, encoded in snapshot.get("results", {}).items():
+        merged[int(text)] = decode_result(encoded)
+    for text, record in snapshot.get("quarantined", {}).items():
+        index = int(text)
+        merged[index] = SweepResult(
+            point=points[index],
+            value=None,
+            seconds=0.0,
+            error=record.get("error", "WorkerLost: lease expired"),
+            attempts=int(record.get("attempts", 1)),
+        )
+    return merged
+
+
+def remote_sweep(
+    fn: Any,
+    points: Sequence[Any],
+    *,
+    connect: str,
+    shard_size: Optional[int] = None,
+    retry: Optional[RetryPolicy] = None,
+    deadline: Optional[DeadlinePolicy] = None,
+    poll: float = 0.05,
+    timeout: Optional[float] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> List[SweepResult]:
+    """Run one sweep on a worker fleet; blocks until merged.
+
+    ``retry`` ships to the workers (in-worker attempts, exactly the
+    process executor's contract); ``deadline`` becomes the per-point
+    lease budget that catches hung-but-heartbeating workers.
+    ``timeout`` bounds the whole sweep — on expiry the job is cancelled
+    and a ``TimeoutError`` raised.
+    """
+    points = list(points)
+    if not points:
+        return []
+    attempts = retry.max_attempts if retry is not None else 1
+    point_budget = (
+        deadline.timeout * attempts + deadline.grace
+        if deadline is not None
+        else None
+    )
+    submitted = request(
+        connect,
+        {
+            "type": "submit",
+            "fn": encode(fn),
+            "retry": encode(retry) if retry is not None else None,
+            "points": [encode(point) for point in points],
+            "shard_size": shard_size,
+            "point_budget": point_budget,
+            "meta": meta or {},
+        },
+    )
+    job = submitted["job"]
+    started = time.monotonic()
+    snapshot: Dict[str, Any] = {}
+    try:
+        while True:
+            snapshot = request(connect, {"type": "collect", "job": job})
+            if snapshot.get("done"):
+                break
+            if timeout is not None and time.monotonic() - started > timeout:
+                request(connect, {"type": "cancel", "job": job})
+                raise TimeoutError(
+                    f"remote sweep {job} incomplete after {timeout:.6g}s"
+                    f" ({snapshot.get('completed', 0)}/{len(points)} points)"
+                )
+            time.sleep(poll)
+    except KeyboardInterrupt:
+        try:
+            snapshot = request(connect, {"type": "cancel", "job": job})
+        except Exception:  # noqa: BLE001 - best effort on the way out
+            pass
+        partial = _merge(points, snapshot)
+        raise SweepInterrupted(
+            [partial[index] for index in sorted(partial)]
+        ) from None
+    merged = _merge(points, snapshot)
+    return [merged[index] for index in range(len(points))]
+
+
+def service_stats(connect: str) -> Dict[str, Any]:
+    """The coordinator's worker/job stats (the ``/stats`` core)."""
+    return request(connect, {"type": "stats"})
+
+
+def kill_worker(connect: str, worker: Optional[str] = None) -> str:
+    """Order one worker (by id, or any) to die on its next poll.
+
+    The over-the-wire chaos primitive used by
+    :meth:`repro.resilience.FaultInjector.kill_remote`; returns the
+    condemned worker's id.
+    """
+    reply = request(
+        connect, {"type": "kill", "worker": worker or "any"}
+    )
+    return reply["worker"]

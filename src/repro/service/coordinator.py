@@ -1,0 +1,639 @@
+"""The shard coordinator: leases, heartbeats, and crash recovery.
+
+The coordinator is the networked twin of the process executor's wave
+loop (:func:`repro.engine.sweep._process_sweep`): a sweep job arrives
+as a pickled sweep function plus an encoded point list, is chunked
+into contiguous *shard leases*, and workers pull leases, compute them
+through the ordinary fabric (`_run_point`, so retry policies apply
+in-worker unchanged), and stream results back.  Results merge by
+global grid index, so the assembled sweep is bit-identical to the
+serial path no matter which worker ran what, how leases were split,
+or how many workers died along the way.
+
+Fault model — exactly the process executor's, stretched over TCP:
+
+* a worker that stops heartbeating (SIGKILL, OOM, unplugged host) has
+  its leases *reassigned*: the reaper requeues them for the next
+  worker, splitting multi-point ranges in half so repeated deaths
+  bisect down to a poisoned point;
+* a single-point lease that keeps dying is *quarantined* after
+  ``quarantine_strikes`` expiries — the client receives a
+  :class:`~repro.engine.SweepResult` carrying the failure reason and
+  strike count, every other point's value untouched;
+* a hung-but-heartbeating worker is caught by the per-point budget of
+  a :class:`~repro.resilience.DeadlinePolicy` shipped with the job,
+  mirroring the pool-level budget of the process path;
+* ordinary exceptions never reach this layer: ``_run_point`` captures
+  them into the result inside the worker.
+
+The coordinator itself never unpickles job payloads — it forwards
+opaque envelopes between client and workers.  All state lives behind
+one lock; requests are short (dict bookkeeping), so a plain
+:class:`socketserver.ThreadingTCPServer` front door is plenty even
+with dozens of workers polling.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .wire import (
+    PROTOCOL_VERSION,
+    WireError,
+    recv_message,
+    send_message,
+)
+
+__all__ = ["Coordinator", "CoordinatorServer", "WorkerInfo", "Job"]
+
+
+def _service_salt() -> str:
+    from ..store.result_store import _default_salt
+
+    return _default_salt()
+
+
+@dataclass
+class WorkerInfo:
+    """One registered worker, as the coordinator sees it."""
+
+    id: str
+    name: str
+    pid: int
+    host: str
+    registered: float
+    last_seen: float
+    shards_done: int = 0
+    points_done: int = 0
+    kill_requested: bool = False
+    deregistered: bool = False
+
+    def snapshot(self, liveness: float, now: float) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "name": self.name,
+            "pid": self.pid,
+            "host": self.host,
+            "alive": self.alive(liveness, now),
+            "last_seen_age": round(now - self.last_seen, 3),
+            "shards_done": self.shards_done,
+            "points_done": self.points_done,
+        }
+
+    def alive(self, liveness: float, now: float) -> bool:
+        return not self.deregistered and now - self.last_seen <= liveness
+
+
+@dataclass
+class _Lease:
+    id: str
+    worker: str
+    start: int
+    stop: int
+    granted: float
+    deadline: Optional[float]  # wall-clock cutoff from the job's budget
+
+
+@dataclass
+class Job:
+    """One submitted sweep: payloads in, merged encoded results out."""
+
+    id: str
+    fn: Dict[str, Any]  # opaque envelope, forwarded to workers
+    retry: Dict[str, Any]
+    points: List[Dict[str, Any]]  # encoded, sliced into leases
+    created: float
+    point_budget: Optional[float]  # seconds per point (deadline x attempts)
+    meta: Dict[str, Any] = field(default_factory=dict)
+    pending: List[Tuple[int, int]] = field(default_factory=list)
+    leases: Dict[str, _Lease] = field(default_factory=dict)
+    results: Dict[int, Dict[str, Any]] = field(default_factory=dict)
+    quarantined: Dict[int, Dict[str, Any]] = field(default_factory=dict)
+    strikes: Dict[int, int] = field(default_factory=dict)
+    cancelled: bool = False
+    on_done: Optional[Callable[["Job"], None]] = None
+
+    @property
+    def total(self) -> int:
+        return len(self.points)
+
+    @property
+    def completed(self) -> int:
+        return len(self.results) + len(self.quarantined)
+
+    @property
+    def done(self) -> bool:
+        return self.completed >= self.total
+
+    @property
+    def status(self) -> str:
+        if self.cancelled:
+            return "cancelled"
+        if self.done:
+            return "done"
+        if self.leases:
+            return "running"
+        return "queued" if self.pending else "running"
+
+
+class Coordinator:
+    """Lease bookkeeping + fault recovery; serve it via
+    :class:`CoordinatorServer` or drive :meth:`handle` directly.
+
+    Parameters
+    ----------
+    salt:
+        Cache-key salt workers must match at registration (default: the
+        result store's versioned salt) — a fleet can only merge results
+        that would land under the same store keys.
+    heartbeat:
+        Interval (seconds) workers are told to heartbeat at.
+    liveness:
+        Silence threshold after which a worker counts as dead and its
+        leases are reassigned (default ``3 x heartbeat``).
+    lease_grace:
+        Extra seconds added to per-point budgets for dispatch overhead.
+    quarantine_strikes:
+        Expiries of a *single-point* lease before the point is
+        quarantined instead of requeued (the bisection endpoint).
+    """
+
+    def __init__(
+        self,
+        *,
+        salt: Optional[str] = None,
+        heartbeat: float = 1.0,
+        liveness: Optional[float] = None,
+        lease_grace: float = 5.0,
+        quarantine_strikes: int = 2,
+    ) -> None:
+        self.salt = salt if salt is not None else _service_salt()
+        self.heartbeat = heartbeat
+        self.liveness = liveness if liveness is not None else 3.0 * heartbeat
+        self.lease_grace = lease_grace
+        self.quarantine_strikes = quarantine_strikes
+        self.workers: Dict[str, WorkerInfo] = {}
+        self.jobs: Dict[str, Job] = {}
+        self.started = time.time()
+        self._lock = threading.Lock()
+        self._counter = 0
+        self._shutting_down = False
+
+    # -- id / shard helpers ------------------------------------------------
+
+    def _next_id(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    def _live_workers(self, now: Optional[float] = None) -> int:
+        now = now if now is not None else time.time()
+        return sum(
+            1 for w in self.workers.values() if w.alive(self.liveness, now)
+        )
+
+    def _shards(self, count: int, shard_size: Optional[int]) -> List[Tuple[int, int]]:
+        """Contiguous index ranges, ~4 shards per live worker by default
+        (the process executor's sizing, with the pool size replaced by
+        whoever is registered right now)."""
+        if shard_size is None:
+            workers = max(1, self._live_workers())
+            shard_size = max(1, -(-count // (4 * workers)))
+        if shard_size < 1:
+            raise WireError(f"shard_size must be >= 1, got {shard_size}")
+        return [
+            (start, min(start + shard_size, count))
+            for start in range(0, count, shard_size)
+        ]
+
+    # -- submission / collection (client side) -----------------------------
+
+    def submit(
+        self,
+        fn: Dict[str, Any],
+        points: List[Dict[str, Any]],
+        *,
+        retry: Optional[Dict[str, Any]] = None,
+        shard_size: Optional[int] = None,
+        point_budget: Optional[float] = None,
+        meta: Optional[Dict[str, Any]] = None,
+        on_done: Optional[Callable[[Job], None]] = None,
+    ) -> str:
+        """Enqueue one sweep job; returns its id."""
+        with self._lock:
+            job = Job(
+                id=self._next_id("job-"),
+                fn=fn,
+                retry=retry or {},
+                points=list(points),
+                created=time.time(),
+                point_budget=point_budget,
+                meta=dict(meta or {}),
+                on_done=on_done,
+            )
+            job.pending = self._shards(len(points), shard_size)
+            self.jobs[job.id] = job
+            return job.id
+
+    def collect(self, job_id: str) -> Dict[str, Any]:
+        """Snapshot of one job: status plus every encoded result so far."""
+        with self._lock:
+            job = self.jobs.get(job_id)
+            if job is None:
+                raise WireError(f"unknown job {job_id!r}")
+            return {
+                "type": "job",
+                "job": job.id,
+                "status": job.status,
+                "done": job.done,
+                "total": job.total,
+                "completed": job.completed,
+                "meta": dict(job.meta),
+                "results": {str(i): r for i, r in job.results.items()},
+                "quarantined": {
+                    str(i): q for i, q in job.quarantined.items()
+                },
+            }
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """Cancel a job: pending shards dropped, partials kept."""
+        with self._lock:
+            job = self.jobs.get(job_id)
+            if job is None:
+                raise WireError(f"unknown job {job_id!r}")
+            job.cancelled = True
+            job.pending = []
+            job.leases = {}
+        return self.collect(job_id)
+
+    # -- fault recovery ----------------------------------------------------
+
+    def reap(self, now: Optional[float] = None) -> int:
+        """Expire leases of dead workers and blown budgets; returns the
+        number of leases reassigned or quarantined.
+
+        Run periodically by :class:`CoordinatorServer`; callable
+        directly (with a synthetic ``now``) from tests.
+        """
+        now = now if now is not None else time.time()
+        reaped = 0
+        with self._lock:
+            for job in self.jobs.values():
+                for lease in list(job.leases.values()):
+                    worker = self.workers.get(lease.worker)
+                    dead = worker is None or not worker.alive(
+                        self.liveness, now
+                    )
+                    overrun = lease.deadline is not None and now > lease.deadline
+                    if not (dead or overrun):
+                        continue
+                    reason = (
+                        f"WorkerLost: worker {lease.worker} stopped"
+                        f" heartbeating while holding"
+                        f" [{lease.start}:{lease.stop})"
+                        if dead
+                        else f"DeadlineExceeded: lease [{lease.start}:"
+                        f"{lease.stop}) still running after its"
+                        f" {lease.deadline - lease.granted:.6g}s budget"
+                    )
+                    del job.leases[lease.id]
+                    self._requeue(job, lease.start, lease.stop, reason)
+                    reaped += 1
+        return reaped
+
+    def _requeue(self, job: Job, start: int, stop: int, reason: str) -> None:
+        """The bisection protocol: strike every implicated point, split
+        multi-point ranges, quarantine a repeatedly-fatal single point."""
+        for index in range(start, stop):
+            job.strikes[index] = job.strikes.get(index, 0) + 1
+        if stop - start == 1:
+            if job.strikes[start] >= self.quarantine_strikes:
+                job.quarantined[start] = {
+                    "error": reason,
+                    "attempts": job.strikes[start],
+                }
+                self._maybe_finish(job)
+            else:  # one more chance on a (hopefully) healthier worker
+                job.pending.insert(0, (start, stop))
+        else:
+            mid = (start + stop) // 2
+            job.pending[:0] = [(start, mid), (mid, stop)]
+
+    def _maybe_finish(self, job: Job) -> None:
+        # Called with the lock held; the callback runs without it so a
+        # store-banking frontend callback cannot deadlock the server.
+        if job.done and job.on_done is not None:
+            callback, job.on_done = job.on_done, None
+            threading.Thread(
+                target=callback, args=(job,), daemon=True,
+                name=f"job-done-{job.id}",
+            ).start()
+
+    # -- message handling (worker + client side) ---------------------------
+
+    def handle(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Dispatch one wire message to its handler; error replies for
+        anything malformed, so a confused peer cannot wedge the server."""
+        handlers = {
+            "register": self._on_register,
+            "heartbeat": self._on_heartbeat,
+            "lease": self._on_lease,
+            "result": self._on_result,
+            "deregister": self._on_deregister,
+            "submit": self._on_submit,
+            "collect": self._on_collect,
+            "cancel": self._on_cancel,
+            "stats": self._on_stats,
+            "kill": self._on_kill,
+            "shutdown": self._on_shutdown,
+        }
+        handler = handlers.get(message.get("type"))
+        if handler is None:
+            return {
+                "type": "error",
+                "error": f"unknown message type {message.get('type')!r}",
+            }
+        try:
+            return handler(message)
+        except WireError as exc:
+            return {"type": "error", "error": str(exc)}
+
+    def _on_register(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        if message.get("protocol") != PROTOCOL_VERSION:
+            raise WireError(
+                f"protocol mismatch: coordinator speaks v{PROTOCOL_VERSION},"
+                f" worker speaks v{message.get('protocol')}"
+            )
+        if message.get("salt") != self.salt:
+            raise WireError(
+                f"salt mismatch: coordinator caches under {self.salt!r},"
+                f" worker under {message.get('salt')!r} — results would not"
+                f" be cache-compatible"
+            )
+        now = time.time()
+        with self._lock:
+            worker = WorkerInfo(
+                id=self._next_id("w"),
+                name=message.get("name") or "",
+                pid=int(message.get("pid", 0)),
+                host=str(message.get("host", "")),
+                registered=now,
+                last_seen=now,
+            )
+            self.workers[worker.id] = worker
+        return {
+            "type": "welcome",
+            "worker": worker.id,
+            "heartbeat": self.heartbeat,
+            "salt": self.salt,
+            "protocol": PROTOCOL_VERSION,
+        }
+
+    def _touch(self, worker_id: str) -> Optional[WorkerInfo]:
+        worker = self.workers.get(worker_id)
+        if worker is not None:
+            worker.last_seen = time.time()
+        return worker
+
+    def _directive(self, worker: Optional[WorkerInfo]) -> Optional[Dict[str, Any]]:
+        """A pending die order for this worker, if any."""
+        if worker is None:
+            # Unknown id (e.g. coordinator restarted): re-register.
+            return {"type": "die", "reason": "unknown worker — re-register"}
+        if worker.kill_requested or self._shutting_down:
+            worker.deregistered = True
+            return {"type": "die", "reason": "coordinator ordered shutdown"}
+        return None
+
+    def _on_heartbeat(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        with self._lock:
+            worker = self._touch(str(message.get("worker")))
+            return self._directive(worker) or {"type": "ok"}
+
+    def _on_deregister(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        with self._lock:
+            worker = self.workers.get(str(message.get("worker")))
+            if worker is not None:
+                worker.deregistered = True
+        return {"type": "ok"}
+
+    def _on_lease(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        with self._lock:
+            worker = self._touch(str(message.get("worker")))
+            directive = self._directive(worker)
+            if directive is not None:
+                return directive
+            now = time.time()
+            for job in sorted(self.jobs.values(), key=lambda j: j.created):
+                if job.cancelled or not job.pending:
+                    continue
+                start, stop = job.pending.pop(0)
+                deadline = None
+                if job.point_budget is not None:
+                    deadline = now + job.point_budget * (stop - start) + self.lease_grace
+                lease = _Lease(
+                    id=self._next_id("lease-"),
+                    worker=worker.id,
+                    start=start,
+                    stop=stop,
+                    granted=now,
+                    deadline=deadline,
+                )
+                job.leases[lease.id] = lease
+                return {
+                    "type": "shard",
+                    "job": job.id,
+                    "lease": lease.id,
+                    "start": start,
+                    "stop": stop,
+                    "fn": job.fn,
+                    "retry": job.retry,
+                    "points": job.points[start:stop],
+                }
+            return {"type": "idle", "poll": self.heartbeat}
+
+    def _on_result(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        with self._lock:
+            worker = self._touch(str(message.get("worker")))
+            job = self.jobs.get(str(message.get("job")))
+            if job is None:
+                raise WireError(f"unknown job {message.get('job')!r}")
+            job.leases.pop(str(message.get("lease")), None)
+            start = int(message["start"])
+            results = message.get("results", [])
+            for offset, encoded in enumerate(results):
+                index = start + offset
+                # First write wins: a reassigned lease may complete
+                # twice, but point values are deterministic, so either
+                # copy is the same answer; quarantined slots stay put.
+                if index not in job.results and index not in job.quarantined:
+                    job.results[index] = encoded
+            if worker is not None:
+                worker.shards_done += 1
+                worker.points_done += len(results)
+            self._maybe_finish(job)
+            directive = self._directive(worker)
+            return directive or {"type": "ok"}
+
+    def _on_submit(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        job_id = self.submit(
+            message["fn"],
+            message.get("points", []),
+            retry=message.get("retry"),
+            shard_size=message.get("shard_size"),
+            point_budget=message.get("point_budget"),
+            meta=message.get("meta"),
+        )
+        return {"type": "submitted", "job": job_id}
+
+    def _on_collect(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        return self.collect(str(message.get("job")))
+
+    def _on_cancel(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        return self.cancel(str(message.get("job")))
+
+    def _on_stats(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        return {"type": "stats", **self.stats()}
+
+    def _on_kill(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Chaos directive: order one worker (or any) to die on its next
+        poll — the over-the-wire half of the fault injector."""
+        target = message.get("worker") or "any"
+        now = time.time()
+        with self._lock:
+            victims = [
+                w
+                for w in self.workers.values()
+                if w.alive(self.liveness, now) and not w.kill_requested
+            ]
+            if target != "any":
+                victims = [w for w in victims if w.id == target]
+            if not victims:
+                raise WireError(f"no live worker matches {target!r}")
+            victim = victims[0]
+            victim.kill_requested = True
+        return {"type": "ok", "worker": victim.id}
+
+    def _on_shutdown(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        with self._lock:
+            self._shutting_down = True
+        return {"type": "ok"}
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Aggregate worker/job view (the ``/stats`` payload core)."""
+        now = time.time()
+        with self._lock:
+            workers = [
+                w.snapshot(self.liveness, now)
+                for w in self.workers.values()
+                if not w.deregistered
+            ]
+            jobs: Dict[str, int] = {}
+            for job in self.jobs.values():
+                jobs[job.status] = jobs.get(job.status, 0) + 1
+            return {
+                "uptime": round(now - self.started, 3),
+                "salt": self.salt,
+                "workers": workers,
+                "workers_alive": sum(1 for w in workers if w["alive"]),
+                "jobs": jobs,
+                "jobs_total": len(self.jobs),
+            }
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    def handle(self) -> None:  # one framed request, one framed reply
+        try:
+            message = recv_message(self.request)
+            reply = self.server.coordinator.handle(message)  # type: ignore[attr-defined]
+            send_message(self.request, reply)
+        except (WireError, OSError):
+            pass  # a peer that vanished mid-frame is the reaper's problem
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class CoordinatorServer:
+    """A :class:`Coordinator` behind a threaded TCP front door.
+
+    >>> server = CoordinatorServer(port=0)   # ephemeral port
+    >>> server.start()
+    >>> server.address  # doctest: +ELLIPSIS
+    '127.0.0.1:...'
+    >>> server.stop()
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        coordinator: Optional[Coordinator] = None,
+        reap_interval: Optional[float] = None,
+        **coordinator_kwargs: Any,
+    ) -> None:
+        self.coordinator = coordinator or Coordinator(**coordinator_kwargs)
+        self._server = _TCPServer((host, port), _Handler)
+        self._server.coordinator = self.coordinator  # type: ignore[attr-defined]
+        self.host, self.port = self._server.server_address[:2]
+        self.reap_interval = (
+            reap_interval
+            if reap_interval is not None
+            else max(0.05, self.coordinator.heartbeat / 2.0)
+        )
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def start(self) -> "CoordinatorServer":
+        serve = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            daemon=True,
+            name="coordinator-server",
+        )
+        reap = threading.Thread(
+            target=self._reap_loop, daemon=True, name="coordinator-reaper"
+        )
+        self._threads = [serve, reap]
+        for thread in self._threads:
+            thread.start()
+        return self
+
+    def _reap_loop(self) -> None:
+        while not self._stop.wait(self.reap_interval):
+            self.coordinator.reap()
+
+    def stop(self, *, shutdown_workers: bool = True) -> None:
+        """Stop serving; by default live workers are told to exit on
+        their next heartbeat (no orphaned worker processes)."""
+        if shutdown_workers:
+            self.coordinator._on_shutdown({})
+        self._stop.set()
+        self._server.shutdown()
+        self._server.server_close()
+
+    def __enter__(self) -> "CoordinatorServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+def free_port(host: str = "127.0.0.1") -> int:
+    """An OS-assigned free TCP port (for tests and ``--port 0``)."""
+    with socket.socket() as sock:
+        sock.bind((host, 0))
+        return sock.getsockname()[1]

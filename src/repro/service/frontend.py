@@ -1,0 +1,475 @@
+"""Async HTTP front-end: guarantees served straight from the store.
+
+``repro-zoo serve`` runs this: a stdlib-only :mod:`asyncio` HTTP
+server (hand-rolled GET parsing — no new dependencies) in front of the
+:class:`~repro.service.Coordinator` and an optional
+:class:`~repro.store.ResultStore`.  Four endpoints:
+
+``GET /guarantee?family=...&formula=...&<param>=<value>``
+    The serving path.  The query names a zoo scenario exactly as
+    ``zoo.sweep`` would (family + parameter overrides + checking
+    backend); the store is consulted under *the same* versioned cache
+    key a local sweep uses.  A hit answers ``200`` immediately —
+    without touching the engine.  A miss is enqueued as a single-point
+    sweep job on the worker fleet and answered ``202`` with a
+    ``/jobs/<id>`` polling URL; when the job lands, the result is
+    banked, so the next query for that guarantee is a warm hit.
+``GET /jobs/<id>``
+    Job status and (decoded) results.
+``GET /healthz``
+    Liveness: ``ok`` when every registered worker heartbeats,
+    ``degraded`` when some died, with the per-worker verdicts.
+``GET /stats``
+    Store stats + coordinator worker/job stats in one payload.
+
+The computed value of a ``/guarantee`` miss is bit-identical to a
+serial ``zoo.sweep`` of the same single-point grid: the job's seed
+stream is spawned by grid index exactly as ``sweep_check`` spawns it,
+and the sweep function is the same module-level ``_check_point``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import json
+import threading
+import time
+from dataclasses import asdict, is_dataclass
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+import numpy as np
+
+from ..engine.config import SmcConfig
+from ..engine.sweep import CHECK_BACKENDS, _check_point
+from .coordinator import Coordinator, Job
+from .wire import decode_result
+
+__all__ = ["Frontend", "FrontendServer"]
+
+_STATUS_TEXT = {200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found"}
+
+#: ``/guarantee`` query keys that are service knobs, not family params.
+_RESERVED = (
+    "family", "formula", "backend", "theta",
+    "epsilon", "delta", "seed", "reduce",
+)
+
+
+def _literal(text: str) -> Any:
+    """Parse a query value exactly as the zoo CLI parses ``-p``."""
+    import ast
+
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text
+
+
+def _public_value(value: Any) -> Any:
+    """A JSON-shaped rendering of one check value for HTTP bodies."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return json.loads(json.dumps(asdict(value), default=repr))
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
+class _BadRequest(ValueError):
+    """Routed straight to a 400 response."""
+
+
+class Frontend:
+    """Route handling, separated from the socket plumbing for tests.
+
+    Parameters
+    ----------
+    coordinator:
+        The lease coordinator misses are enqueued on.
+    store:
+        Optional :class:`~repro.store.ResultStore`; without one every
+        ``/guarantee`` is a miss and nothing is banked.
+    """
+
+    def __init__(
+        self, coordinator: Coordinator, store: Any = None
+    ) -> None:
+        self.coordinator = coordinator
+        self.store = store
+        self.started = time.time()
+        self.hits = 0
+        self.misses = 0
+        # In-flight /guarantee jobs by store key, so identical queries
+        # racing each other share one job instead of one each.
+        self._inflight: Dict[str, str] = {}
+        self._lock = threading.Lock()
+
+    # -- /guarantee --------------------------------------------------------
+
+    def _parse_guarantee(self, params: Dict[str, str]) -> Dict[str, Any]:
+        from ..zoo.registry import ZooError, get_model
+
+        family = params.get("family")
+        if not family:
+            raise _BadRequest("missing required query parameter 'family'")
+        try:
+            fam = get_model(family)
+        except ZooError as exc:
+            raise _BadRequest(str(exc)) from None
+        backend = params.get("backend", "exact")
+        if backend not in CHECK_BACKENDS:
+            raise _BadRequest(
+                f"unknown backend {backend!r};"
+                f" choose from {', '.join(CHECK_BACKENDS)}"
+            )
+        theta = float(params["theta"]) if "theta" in params else None
+        if backend == "sprt" and theta is None:
+            raise _BadRequest("backend=sprt requires theta=<threshold>")
+        point = {
+            key: _literal(value)
+            for key, value in params.items()
+            if key not in _RESERVED
+        }
+        return {
+            "family": family,
+            "formula": params.get("formula") or fam.default_property,
+            "backend": backend,
+            "theta": theta,
+            "reduce": _literal(params.get("reduce", "True")) not in (False, 0, "false"),
+            "smc": SmcConfig(
+                epsilon=float(params.get("epsilon", 0.01)),
+                delta=float(params.get("delta", 0.05)),
+                seed=int(params.get("seed", 0)),
+            ),
+            "point": point,
+        }
+
+    def _store_lookup(self, query: Dict[str, Any]) -> Tuple[Any, Any, Any]:
+        """(scenario id, config fingerprint, hit-or-None) for one query."""
+        from ..store import check_fingerprint
+        from ..zoo.sweep import _point_store_key
+
+        scenario_id = _point_store_key(
+            query["point"],
+            family=query["family"],
+            base_params=None,
+            reduce=query["reduce"],
+        )
+        fingerprint = check_fingerprint(
+            query["backend"], smc=query["smc"], solver=None,
+            theta=query["theta"],
+        )
+        if self.store is None:
+            return scenario_id, fingerprint, None
+        hit = self.store.get(
+            scenario_id, query["formula"], query["backend"], fingerprint
+        )
+        return scenario_id, fingerprint, hit
+
+    def _enqueue_guarantee(
+        self, query: Dict[str, Any], scenario_id: Any, fingerprint: Any
+    ) -> str:
+        """Submit the miss as a single-point sweep job; returns job id.
+
+        The job is exactly the single-point grid ``sweep_check`` would
+        run: same module-level sweep function, same index-spawned seed
+        stream — so the result is bit-identical and cache-compatible.
+        """
+        from ..zoo.sweep import _build_point
+        from .wire import encode
+
+        run = functools.partial(
+            _check_point,
+            build=functools.partial(
+                _build_point,
+                family=query["family"],
+                base_params=None,
+                reduce=query["reduce"],
+            ),
+            formula=query["formula"],
+            backend=query["backend"],
+            theta=query["theta"],
+            config=query["smc"],
+            solver=None,
+            seeds=np.random.SeedSequence(query["smc"].seed).spawn(1),
+        )
+        key = json.dumps(
+            [scenario_id, query["formula"], query["backend"], fingerprint],
+            sort_keys=True, default=repr,
+        )
+        with self._lock:
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                job = self.coordinator.jobs.get(inflight)
+                if job is not None and not job.done and not job.cancelled:
+                    return inflight
+            job_id = self.coordinator.submit(
+                encode(run),
+                [encode((0, query["point"]))],
+                meta={
+                    "kind": "guarantee",
+                    "family": query["family"],
+                    "formula": query["formula"],
+                    "backend": query["backend"],
+                },
+                on_done=functools.partial(
+                    self._bank, query=query, scenario_id=scenario_id,
+                    fingerprint=fingerprint, key=key,
+                ),
+            )
+            self._inflight[key] = job_id
+            return job_id
+
+    def _bank(
+        self, job: Job, *, query: Dict[str, Any], scenario_id: Any,
+        fingerprint: Any, key: str,
+    ) -> None:
+        """Job-done callback: write the value under the sweep's key."""
+        with self._lock:
+            self._inflight.pop(key, None)
+        if self.store is None or not job.results:
+            return
+        result = decode_result(job.results[0])
+        if result.ok:
+            self.store.put(
+                scenario_id,
+                query["formula"],
+                result.value,
+                backend=query["backend"],
+                config=fingerprint,
+                seconds=result.seconds,
+                extra={"family": query["family"]},
+            )
+
+    def guarantee(self, params: Dict[str, str]) -> Tuple[int, Dict[str, Any]]:
+        query = self._parse_guarantee(params)
+        scenario_id, fingerprint, hit = self._store_lookup(query)
+        body = {
+            "family": query["family"],
+            "formula": query["formula"],
+            "backend": query["backend"],
+            "point": query["point"],
+        }
+        if hit is not None:
+            self.hits += 1
+            body.update(
+                value=_public_value(hit.value),
+                cached=True,
+                seconds=hit.seconds,
+                samples=hit.samples,
+            )
+            return 200, body
+        self.misses += 1
+        job_id = self._enqueue_guarantee(query, scenario_id, fingerprint)
+        body.update(cached=False, job=job_id, poll=f"/jobs/{job_id}")
+        return 202, body
+
+    # -- /jobs/<id> --------------------------------------------------------
+
+    def job(self, job_id: str) -> Tuple[int, Dict[str, Any]]:
+        from .wire import WireError
+
+        try:
+            snapshot = self.coordinator.collect(job_id)
+        except WireError:
+            return 404, {"error": f"unknown job {job_id!r}"}
+        results = []
+        for text in sorted(snapshot["results"], key=int):
+            result = decode_result(snapshot["results"][text])
+            results.append(
+                {
+                    "index": int(text),
+                    "ok": result.ok,
+                    "error": result.error,
+                    "value": _public_value(result.value),
+                    "seconds": result.seconds,
+                    "attempts": result.attempts,
+                }
+            )
+        for text in sorted(snapshot["quarantined"], key=int):
+            record = snapshot["quarantined"][text]
+            results.append(
+                {
+                    "index": int(text),
+                    "ok": False,
+                    "error": record.get("error"),
+                    "value": None,
+                    "attempts": record.get("attempts", 1),
+                }
+            )
+        return 200, {
+            "job": snapshot["job"],
+            "status": snapshot["status"],
+            "done": snapshot["done"],
+            "total": snapshot["total"],
+            "completed": snapshot["completed"],
+            "meta": snapshot["meta"],
+            "results": sorted(results, key=lambda r: r["index"]),
+        }
+
+    # -- /healthz & /stats -------------------------------------------------
+
+    def healthz(self) -> Tuple[int, Dict[str, Any]]:
+        stats = self.coordinator.stats()
+        workers = stats["workers"]
+        dead = [w for w in workers if not w["alive"]]
+        return 200, {
+            "status": "degraded" if dead else "ok",
+            "workers": len(workers),
+            "workers_alive": stats["workers_alive"],
+            "dead": dead,
+        }
+
+    def stats_payload(self) -> Tuple[int, Dict[str, Any]]:
+        store_stats = None
+        if self.store is not None:
+            stats = self.store.stats()
+            store_stats = {
+                "path": stats.path,
+                "salt": stats.salt,
+                "entries": stats.entries,
+                "families": stats.families,
+                "backends": stats.backends,
+                "compute_seconds": stats.compute_seconds,
+                "total_hits": stats.total_hits,
+                "db_bytes": stats.db_bytes,
+            }
+        return 200, {
+            "uptime": round(time.time() - self.started, 3),
+            "guarantee_hits": self.hits,
+            "guarantee_misses": self.misses,
+            "store": store_stats,
+            "coordinator": self.coordinator.stats(),
+        }
+
+    # -- routing -----------------------------------------------------------
+
+    def route(self, method: str, target: str) -> Tuple[int, Dict[str, Any]]:
+        """Dispatch one request line; pure function of frontend state."""
+        if method != "GET":
+            return 400, {"error": f"only GET is served, not {method}"}
+        parts = urlsplit(target)
+        path = parts.path.rstrip("/") or "/"
+        params = dict(parse_qsl(parts.query, keep_blank_values=True))
+        try:
+            if path == "/healthz":
+                return self.healthz()
+            if path == "/stats":
+                return self.stats_payload()
+            if path == "/guarantee":
+                return self.guarantee(params)
+            if path.startswith("/jobs/"):
+                return self.job(path[len("/jobs/"):])
+        except _BadRequest as exc:
+            return 400, {"error": str(exc)}
+        return 404, {"error": f"no route for {path!r}"}
+
+
+class FrontendServer:
+    """The asyncio HTTP server around a :class:`Frontend`.
+
+    Handlers run the (fast, lock-guarded) route logic in the default
+    thread-pool executor, so sqlite reads never stall the event loop.
+    ``serve_forever`` blocks the calling thread (the CLI);
+    ``start_background`` runs the loop in a daemon thread and returns
+    once the socket is listening (tests, embedded serving).
+    """
+
+    def __init__(
+        self,
+        frontend: Frontend,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+    ) -> None:
+        self.frontend = frontend
+        self.host = host
+        self.port = port
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._stopping = threading.Event()
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await asyncio.wait_for(reader.readline(), 10.0)
+            if not request_line:
+                return
+            try:
+                method, target, _ = request_line.decode("latin-1").split(None, 2)
+            except ValueError:
+                method, target = "", "/"
+            while True:  # drain headers; GET bodies are ignored
+                line = await asyncio.wait_for(reader.readline(), 10.0)
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            loop = asyncio.get_running_loop()
+            status, payload = await loop.run_in_executor(
+                None, self.frontend.route, method, target
+            )
+            body = json.dumps(payload, indent=2, default=repr).encode("utf-8")
+            head = (
+                f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n"
+            ).encode("latin-1")
+            writer.write(head + body)
+            await writer.drain()
+        except (asyncio.TimeoutError, ConnectionError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _serve(self) -> None:
+        server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = server.sockets[0].getsockname()[1]
+        self._ready.set()
+        async with server:
+            while not self._stopping.is_set():
+                await asyncio.sleep(0.05)
+
+    def serve_forever(self) -> None:
+        """Run the server on this thread until interrupted."""
+        try:
+            asyncio.run(self._serve())
+        except KeyboardInterrupt:
+            pass
+
+    def start_background(self) -> "FrontendServer":
+        def _run() -> None:
+            self._loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(self._loop)
+            try:
+                self._loop.run_until_complete(self._serve())
+            finally:
+                self._loop.close()
+
+        self._thread = threading.Thread(
+            target=_run, daemon=True, name="frontend-http"
+        )
+        self._thread.start()
+        if not self._ready.wait(10.0):
+            raise RuntimeError("frontend failed to start listening")
+        return self
+
+    def stop(self) -> None:
+        self._stopping.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "FrontendServer":
+        return self.start_background()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

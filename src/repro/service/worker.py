@@ -1,0 +1,230 @@
+"""The sweep worker: pull leases, compute through the fabric, stream back.
+
+One worker process (``repro-zoo worker --connect HOST:PORT``) runs the
+loop: register with the coordinator, poll for a shard lease, decode
+the job's sweep function, run every point through the *existing*
+fault-tolerant fabric (:func:`repro.engine.sweep._run_point`, so
+:class:`~repro.resilience.RetryPolicy` attempts and exception capture
+behave exactly as they do in a local sweep), stream the encoded
+results back, repeat.  While a shard computes, a daemon heartbeat
+thread keeps telling the coordinator "still alive" — the lease reaper
+only reassigns work when those heartbeats stop (the worker died) or a
+shipped :class:`~repro.resilience.DeadlinePolicy` budget blows (the
+worker hung).
+
+Determinism: a worker adds nothing to the computation — the sweep
+function already carries its per-point seed streams spawned by grid
+index — so the merged sweep is bit-identical to the serial path no
+matter which worker ran which lease, or how often leases moved.
+
+The worker exits cleanly on Ctrl-C / SIGTERM (deregistering first) and
+*hard* (``os._exit``) when the coordinator orders it to die — the
+over-the-wire chaos kill used by the fault-injection tests.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from .wire import PROTOCOL_VERSION, WireError, decode, encode_result, request
+
+__all__ = ["Worker", "run_worker"]
+
+
+class Worker:
+    """The lease-pulling loop; :func:`run_worker` is the CLI shape.
+
+    Parameters
+    ----------
+    connect:
+        Coordinator address, ``"HOST:PORT"``.
+    name:
+        Free-form worker name for ``/stats`` (default ``host:pid``).
+    poll:
+        Idle re-poll interval when the coordinator has no work; the
+        coordinator's suggested interval (its heartbeat) wins when
+        longer.
+    salt:
+        Cache-key salt to register under (default: this code's store
+        salt) — must match the coordinator's or registration fails.
+    """
+
+    def __init__(
+        self,
+        connect: str,
+        *,
+        name: Optional[str] = None,
+        poll: float = 0.2,
+        salt: Optional[str] = None,
+    ) -> None:
+        from ..store.result_store import _default_salt
+
+        self.connect = connect
+        self.name = name or f"{socket.gethostname()}:{os.getpid()}"
+        self.poll = poll
+        self.salt = salt if salt is not None else _default_salt()
+        self.worker_id: Optional[str] = None
+        self.heartbeat_interval = 1.0
+        self.shards_done = 0
+        self.points_done = 0
+        self._stop = threading.Event()
+
+    # -- protocol steps ----------------------------------------------------
+
+    def register(self) -> str:
+        reply = request(
+            self.connect,
+            {
+                "type": "register",
+                "protocol": PROTOCOL_VERSION,
+                "salt": self.salt,
+                "name": self.name,
+                "pid": os.getpid(),
+                "host": socket.gethostname(),
+            },
+        )
+        self.worker_id = reply["worker"]
+        self.heartbeat_interval = float(reply.get("heartbeat", 1.0))
+        return self.worker_id
+
+    def _die(self) -> None:
+        # A coordinator-ordered death is intentionally *hard*: the chaos
+        # harness uses it to model SIGKILL, so no cleanup may run.
+        os._exit(13)
+
+    def _heartbeat_loop(self) -> None:
+        while not self._stop.wait(self.heartbeat_interval):
+            try:
+                reply = request(
+                    self.connect,
+                    {"type": "heartbeat", "worker": self.worker_id},
+                    timeout=self.heartbeat_interval * 4,
+                )
+            except (WireError, OSError):
+                continue  # coordinator briefly unreachable: keep trying
+            if reply.get("type") == "die":
+                self._die()
+
+    def _compute_shard(self, shard: Dict[str, Any]) -> Dict[str, Any]:
+        """Run one leased shard through the local fabric."""
+        from ..engine.sweep import _run_point
+        from ..resilience import RetryPolicy
+
+        fn = decode(shard["fn"])
+        retry_spec = shard.get("retry") or None
+        retry = decode(retry_spec) if retry_spec else None
+        if retry is not None and not isinstance(retry, RetryPolicy):
+            retry = RetryPolicy.coerce(retry)
+        points = [decode(p) for p in shard["points"]]
+        results = [_run_point(fn, point, retry) for point in points]
+        self.shards_done += 1
+        self.points_done += len(results)
+        return {
+            "type": "result",
+            "worker": self.worker_id,
+            "job": shard["job"],
+            "lease": shard["lease"],
+            "start": shard["start"],
+            "stop": shard["stop"],
+            "results": [encode_result(r) for r in results],
+        }
+
+    # -- the loop ----------------------------------------------------------
+
+    def run(self, *, max_shards: Optional[int] = None) -> int:
+        """Register and serve leases until told to stop.
+
+        ``max_shards`` bounds the number of shards served (tests);
+        returns the number served.
+        """
+        self.register()
+        beat = threading.Thread(
+            target=self._heartbeat_loop, daemon=True, name="worker-heartbeat"
+        )
+        beat.start()
+        served = 0
+        try:
+            while not self._stop.is_set():
+                if max_shards is not None and served >= max_shards:
+                    break
+                try:
+                    reply = request(
+                        self.connect,
+                        {"type": "lease", "worker": self.worker_id},
+                    )
+                except (WireError, OSError):
+                    time.sleep(self.poll)
+                    continue
+                kind = reply.get("type")
+                if kind == "die":
+                    self._die()
+                if kind != "shard":
+                    time.sleep(max(self.poll, float(reply.get("poll", 0.0))))
+                    continue
+                result = self._compute_shard(reply)
+                served += 1
+                try:
+                    ack = request(self.connect, result)
+                except (WireError, OSError):
+                    # Undeliverable results are simply lost: the lease
+                    # expires and the shard re-runs deterministically.
+                    continue
+                if ack.get("type") == "die":
+                    self._die()
+        finally:
+            self._stop.set()
+            self._deregister()
+        return served
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def _deregister(self) -> None:
+        if self.worker_id is None:
+            return
+        try:
+            request(
+                self.connect,
+                {"type": "deregister", "worker": self.worker_id},
+                timeout=2.0,
+            )
+        except (WireError, OSError):
+            pass  # the coordinator may already be gone
+
+
+def run_worker(
+    connect: str,
+    *,
+    name: Optional[str] = None,
+    poll: float = 0.2,
+    max_shards: Optional[int] = None,
+) -> int:
+    """``repro-zoo worker`` entry point: run one worker until Ctrl-C.
+
+    Returns a process exit code: 0 on clean shutdown (Ctrl-C, SIGTERM,
+    coordinator shutdown), 2 when registration was refused (salt or
+    protocol mismatch).
+    """
+    worker = Worker(connect, name=name, poll=poll)
+
+    def _graceful(signum: int, frame: Any) -> None:
+        worker.stop()
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _graceful)
+    except ValueError:  # not the main thread (embedded worker)
+        pass
+    try:
+        worker.run(max_shards=max_shards)
+    except KeyboardInterrupt:
+        return 0
+    except WireError as exc:
+        print(f"worker: {exc}", flush=True)
+        return 2
+    return 0

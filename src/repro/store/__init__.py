@@ -29,6 +29,8 @@ from .result_store import (
     StoredResult,
     canonical,
     check_fingerprint,
+    decode_value,
+    encode_value,
     make_key,
     read_through,
 )
@@ -41,6 +43,8 @@ __all__ = [
     "StoredResult",
     "canonical",
     "check_fingerprint",
+    "encode_value",
+    "decode_value",
     "make_key",
     "read_through",
 ]

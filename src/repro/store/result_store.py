@@ -64,6 +64,8 @@ __all__ = [
     "canonical",
     "make_key",
     "check_fingerprint",
+    "encode_value",
+    "decode_value",
     "read_through",
 ]
 
@@ -175,7 +177,15 @@ _VALUE_TYPES: Dict[str, type] = {
 }
 
 
-def _encode_value(value: Any) -> str:
+def encode_value(value: Any) -> str:
+    """Tagged-JSON text of one storable check value.
+
+    The store's own row payload encoding, public because the service
+    wire protocol (:mod:`repro.service.wire`) ships check results in
+    exactly this form — a value computed on a remote worker round-trips
+    through the same codec a local sweep banks with, so remote results
+    are bit-compatible with warm store hits.
+    """
     import numpy as np
 
     if isinstance(value, np.integer):
@@ -196,7 +206,8 @@ def _encode_value(value: Any) -> str:
     )
 
 
-def _decode_value(payload: str) -> Any:
+def decode_value(payload: str) -> Any:
+    """Inverse of :func:`encode_value`."""
     wrapped = json.loads(payload)
     kind = wrapped["kind"]
     if kind == "json":
@@ -393,7 +404,7 @@ class ResultStore:
         if family is None:
             family = extra_dict.get("family")
         key = self.key_for(scenario, formula, backend, config)
-        payload = _encode_value(value)
+        payload = encode_value(value)
         samples = int(getattr(value, "samples", 0) or 0)
         now = time.time()
         with self._lock:
@@ -493,7 +504,7 @@ class ResultStore:
             formula=formula,
             backend=backend,
             config=json.loads(config),
-            value=_decode_value(payload),
+            value=decode_value(payload),
             seconds=seconds,
             samples=samples,
             extra=json.loads(extra),

@@ -12,6 +12,9 @@ Subcommands::
     repro-zoo store stats --store results.sqlite
     repro-zoo store query --store results.sqlite --family mimo-1xN
     repro-zoo store clear --store results.sqlite [--family ...]
+    repro-zoo serve --port 8080 --store results.sqlite --workers 2
+    repro-zoo worker --connect HOST:9100
+    repro-zoo sweep mimo-1xN -g snr_db=4,6,8 --executor remote --connect HOST:9100
 
 ``-p/--param`` sets one scenario parameter (``key=value``, value parsed
 as a Python literal when possible); ``-g/--grid`` names one sweep axis
@@ -27,16 +30,24 @@ both quarantined into the result table instead of sinking the sweep.
 ``--resume`` re-runs an interrupted sweep against its ``--store``
 checkpoint, recomputing only the missing points; the sweep report
 printed after every run shows the cached/recomputed split.
+
+``serve`` runs the networked guarantee service (coordinator + HTTP
+front-end + optional local workers); ``worker`` joins a running
+coordinator from any host; ``--executor remote --connect HOST:PORT``
+runs a sweep on that fleet instead of local pools.  A Ctrl-C during
+any sweep shuts the executor down cleanly (no orphaned workers), banks
+finished points to ``--store``, and exits 130 with a resume hint.
 """
 
 from __future__ import annotations
 
 import argparse
 import ast
+import os
 import sys
 from typing import Any, Dict, Iterable, List, Optional
 
-from ..engine import SmcConfig
+from ..engine import EXECUTORS, SmcConfig, SweepInterrupted
 from ..experiments.report import format_table
 from ..resilience import RetryPolicy, SweepReport
 from . import pipeline, registry
@@ -152,6 +163,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.resume and args.store is None:
         print("error: --resume requires --store PATH", file=sys.stderr)
         return 2
+    if args.executor == "remote" and not (
+        args.connect or os.environ.get("REPRO_COORDINATOR")
+    ):
+        print(
+            "error: --executor remote requires --connect HOST:PORT"
+            " (or $REPRO_COORDINATOR)",
+            file=sys.stderr,
+        )
+        return 2
     axes = _parse_axes(args.grid)
     smc = SmcConfig(
         epsilon=args.epsilon, delta=args.delta, seed=args.seed
@@ -169,6 +189,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         smc=smc,
         executor=args.executor,
         shard_size=args.shard_size,
+        remote=args.connect,
         store=store,
         retry=retry,
         deadline=deadline,
@@ -203,7 +224,7 @@ def _cmd_survey(args: argparse.Namespace) -> int:
     retry, deadline = _parse_policies(args)
     results = _survey(
         tag=args.tag, backend=args.backend, executor=args.executor,
-        store=store, retry=retry, deadline=deadline,
+        remote=args.connect, store=store, retry=retry, deadline=deadline,
     )
     rows = []
     failures = 0
@@ -255,6 +276,78 @@ def _cmd_store(args: argparse.Namespace) -> int:
         family=args.family, backend=args.backend, formula=args.formula
     )
     print(f"invalidated {removed} cached result(s) in {args.store}")
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from ..service import run_worker
+
+    print(f"worker joining coordinator at {args.connect}", flush=True)
+    return run_worker(
+        args.connect,
+        name=args.name,
+        poll=args.poll,
+        max_shards=args.max_shards,
+    )
+
+
+def _spawn_local_workers(address: str, count: int) -> List[Any]:
+    """Worker subprocesses for ``serve --workers N`` (same interpreter,
+    ``src`` on the path even when the package is not installed)."""
+    import subprocess
+
+    env = dict(os.environ)
+    src_root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    return [
+        subprocess.Popen(
+            [sys.executable, "-m", "repro.zoo", "worker", "--connect", address],
+            env=env,
+        )
+        for _ in range(count)
+    ]
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from ..service import CoordinatorServer, Frontend, FrontendServer
+
+    store = _open_store(args)
+    server = CoordinatorServer(
+        host=args.host, port=args.coordinator_port,
+        heartbeat=args.heartbeat,
+    ).start()
+    workers = _spawn_local_workers(server.address, args.workers)
+    front = FrontendServer(
+        Frontend(server.coordinator, store=store),
+        host=args.host, port=args.port,
+    ).start_background()
+    print(f"coordinator listening on {server.address}", flush=True)
+    print(
+        f"http front-end on http://{front.address}"
+        f"  (GET /guarantee /jobs/<id> /healthz /stats)",
+        flush=True,
+    )
+    if workers:
+        print(f"{len(workers)} local worker(s) started", flush=True)
+    if store is not None:
+        print(f"serving guarantees from store {args.store}", flush=True)
+    try:
+        while True:
+            time.sleep(0.5)
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        front.stop()
+        server.stop()  # orders every worker to exit on its next poll
+        for proc in workers:
+            try:
+                proc.wait(timeout=10)
+            except Exception:  # noqa: BLE001 - last resort, no orphans
+                proc.terminate()
     return 0
 
 
@@ -331,11 +424,15 @@ def _build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--delta", type=float, default=0.05)
     p_sweep.add_argument("--seed", type=int, default=0)
     p_sweep.add_argument(
-        "--executor", choices=("serial", "thread", "process"), default="thread"
+        "--executor", choices=EXECUTORS, default="thread"
     )
     p_sweep.add_argument(
         "--shard-size", type=int, metavar="N",
-        help="points per process-pool shard (executor=process)",
+        help="points per shard (executor=process / remote)",
+    )
+    p_sweep.add_argument(
+        "--connect", metavar="HOST:PORT",
+        help="coordinator address for --executor remote",
     )
     p_sweep.add_argument(
         "--store", metavar="PATH",
@@ -357,7 +454,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--backend", choices=("exact", "apmc", "sprt"), default="exact"
     )
     p_survey.add_argument(
-        "--executor", choices=("serial", "thread", "process"), default="thread"
+        "--executor", choices=EXECUTORS, default="thread"
+    )
+    p_survey.add_argument(
+        "--connect", metavar="HOST:PORT",
+        help="coordinator address for --executor remote",
     )
     p_survey.add_argument(
         "--store", metavar="PATH",
@@ -365,6 +466,49 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_resilience_flags(p_survey)
     p_survey.set_defaults(fn=_cmd_survey)
+
+    p_worker = sub.add_parser(
+        "worker", help="join a guarantee-service coordinator as a sweep worker"
+    )
+    p_worker.add_argument(
+        "--connect", metavar="HOST:PORT", required=True,
+        help="coordinator address to register with",
+    )
+    p_worker.add_argument("--name", help="worker name for /stats (default host:pid)")
+    p_worker.add_argument(
+        "--poll", type=float, default=0.2, metavar="SECONDS",
+        help="idle re-poll interval when the coordinator has no work",
+    )
+    p_worker.add_argument(
+        "--max-shards", type=int, metavar="N",
+        help="exit after serving N shards (default: run until stopped)",
+    )
+    p_worker.set_defaults(fn=_cmd_worker)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the guarantee service (coordinator + HTTP front-end)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8080, help="HTTP front-end port (0 = ephemeral)"
+    )
+    p_serve.add_argument(
+        "--coordinator-port", type=int, default=0, metavar="PORT",
+        help="worker-facing coordinator port (default: ephemeral)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="also start N local worker processes",
+    )
+    p_serve.add_argument(
+        "--heartbeat", type=float, default=1.0, metavar="SECONDS",
+        help="worker heartbeat interval (liveness cutoff is 3x this)",
+    )
+    p_serve.add_argument(
+        "--store", metavar="PATH",
+        help="serve /guarantee hits from (and bank misses to) this store",
+    )
+    p_serve.set_defaults(fn=_cmd_serve)
 
     p_store = sub.add_parser(
         "store", help="inspect / maintain a persistent guarantee store"
@@ -401,6 +545,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     except registry.ZooError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except SweepInterrupted as interrupt:
+        banked = sum(1 for r in interrupt.partial if r.ok)
+        hint = (
+            " (banked to --store; re-run with --resume to finish)"
+            if getattr(args, "store", None)
+            else " (pass --store PATH next time to make interrupts resumable)"
+        )
+        print(
+            f"interrupted: {banked} finished point(s) out of the grid"
+            f"{hint}",
+            file=sys.stderr,
+        )
+        return 130
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -30,14 +30,25 @@ from __future__ import annotations
 import functools
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 
-from ..engine import SmcConfig, SweepResult
+from ..engine import EXECUTORS, SmcConfig, SweepResult
 from ..engine import grid as engine_grid
 from ..engine import sweep as engine_sweep
 from ..engine import sweep_check
 from .pipeline import ScenarioSpec, build
-from .registry import get_model, list_models
+from .registry import ZooError, get_model, list_models
 
 __all__ = ["sweep", "survey"]
+
+
+def _validate_executor(executor: str) -> None:
+    """Fail fast — a typo'd executor should die here, naming the valid
+    choices, not as a deep ``ValueError`` after grids and stores are
+    already set up."""
+    if executor not in EXECUTORS:
+        raise ZooError(
+            f"unknown executor {executor!r};"
+            f" choose from {', '.join(EXECUTORS)}"
+        )
 
 
 def _build_point(
@@ -91,6 +102,7 @@ def sweep(
     max_workers: Optional[int] = None,
     on_error: str = "capture",
     shard_size: Optional[int] = None,
+    remote: Optional[str] = None,
     store=None,
     retry=None,
     deadline=None,
@@ -119,7 +131,11 @@ def sweep(
     executor / max_workers / on_error / shard_size:
         Passed through to the underlying sweep runner;
         ``executor="process"`` fans shards of ``shard_size`` points
-        across a process pool.
+        across a process pool and ``executor="remote"`` ships them to
+        a guarantee-service worker fleet (see :mod:`repro.service`).
+    remote:
+        Coordinator address (``"HOST:PORT"``) for
+        ``executor="remote"``; falls back to ``$REPRO_COORDINATOR``.
     store:
         Optional :class:`repro.store.ResultStore` — hits are served
         from it (``SweepResult.cached``) and misses banked back.
@@ -137,6 +153,7 @@ def sweep(
     result's ``point`` is the per-point parameter dict.
     """
     fam = get_model(family)  # fail fast on unknown names
+    _validate_executor(executor)
     if (axes is None) == (points is None):
         raise ValueError("pass exactly one of axes= or points=")
     if points is None:
@@ -169,6 +186,7 @@ def sweep(
         max_workers=max_workers,
         on_error=on_error,
         shard_size=shard_size,
+        remote=remote,
         store=store,
         store_key=store_key,
         store_extra={"family": family} if store is not None else None,
@@ -218,6 +236,7 @@ def survey(
     smc: Optional[SmcConfig] = None,
     executor: str = "thread",
     max_workers: Optional[int] = None,
+    remote: Optional[str] = None,
     store=None,
     retry=None,
     deadline=None,
@@ -234,6 +253,7 @@ def survey(
     ``retry``/``deadline`` apply per family exactly as in
     :func:`sweep`.
     """
+    _validate_executor(executor)
     families = list_models(tag=tag)
     runner = functools.partial(
         _survey_family, backend=backend, smc=smc, store=store,
@@ -245,6 +265,7 @@ def survey(
         executor=executor,
         max_workers=max_workers,
         on_error="capture",
+        remote=remote,
     )
     results: Dict[str, SweepResult] = {}
     for fam, outcome in zip(families, outcomes):

@@ -286,6 +286,107 @@ def _hammer_store(args):
     return worker
 
 
+def _hammer_mixed_load(args):
+    """One simulated remote host: interleaved ``put``/``get_many``
+    rounds against the shared WAL file (the cross-host write pattern of
+    the networked guarantee service, where every worker's results are
+    banked into one store by the front-end)."""
+    path, host, rounds = args
+    store = ResultStore(path, salt="cross-host")
+    observed_hits = 0
+    for i in range(rounds):
+        store.put(
+            {"host": host, "i": i}, FORMULA, float(host * 1000 + i),
+            seconds=0.001, family=f"host{host}",
+        )
+        # Every host also upserts the same contended row over and over;
+        # last-write-wins there, but the row must never tear or vanish.
+        store.put(
+            {"shared": "row"}, FORMULA, float(host),
+            seconds=0.001, family="shared",
+        )
+        queries = [
+            ({"host": host, "i": j}, FORMULA, "exact", None)
+            for j in range(i + 1)
+        ] + [({"shared": "row"}, FORMULA, "exact", None)]
+        rows = store.get_many(queries)
+        # Reads racing other hosts' writes: our *own* rows are always
+        # visible and never corrupted.
+        for j, row in enumerate(rows[:-1]):
+            if row is None or row.value != float(host * 1000 + j):
+                store.close()
+                return (host, f"lost update at i={i} j={j}: {row!r}")
+        if rows[-1] is not None:
+            observed_hits += 1
+    store.close()
+    return (host, observed_hits)
+
+
+class TestCrossHostWriters:
+    """ISSUE-8 satellite: many processes hammering ``put``/``get_many``
+    on one WAL store, as networked workers + front-end would."""
+
+    HOSTS = 6
+    ROUNDS = 20
+
+    def test_no_lost_updates_under_mixed_hammering(self, tmp_path):
+        path = os.fspath(tmp_path / "cross-host.sqlite")
+        with ProcessPoolExecutor(max_workers=self.HOSTS) as pool:
+            outcomes = list(
+                pool.map(
+                    _hammer_mixed_load,
+                    [(path, h, self.ROUNDS) for h in range(self.HOSTS)],
+                )
+            )
+        failures = [o for o in outcomes if not isinstance(o[1], int)]
+        assert not failures, failures
+        # Every host saw the contended row on every read round.
+        assert all(hits == self.ROUNDS for _, hits in outcomes)
+        store = ResultStore(path, salt="cross-host")
+        # No lost updates: every per-host row landed, plus the one
+        # contended row, and nothing else.
+        assert len(store) == self.HOSTS * self.ROUNDS + 1
+        queries = [
+            ({"host": h, "i": i}, FORMULA, "exact", None)
+            for h in range(self.HOSTS)
+            for i in range(self.ROUNDS)
+        ]
+        rows = store.get_many(queries)
+        assert all(row is not None for row in rows)
+        assert [row.value for row in rows] == [
+            float(h * 1000 + i)
+            for h in range(self.HOSTS)
+            for i in range(self.ROUNDS)
+        ]
+        # The contended row holds one of the competing writes, intact.
+        shared = store.get({"shared": "row"}, FORMULA)
+        assert shared is not None
+        assert shared.value in {float(h) for h in range(self.HOSTS)}
+        store.close()
+
+    def test_stats_stay_consistent_after_hammering(self, tmp_path):
+        path = os.fspath(tmp_path / "cross-host-stats.sqlite")
+        with ProcessPoolExecutor(max_workers=self.HOSTS) as pool:
+            list(
+                pool.map(
+                    _hammer_mixed_load,
+                    [(path, h, self.ROUNDS) for h in range(self.HOSTS)],
+                )
+            )
+        store = ResultStore(path, salt="cross-host")
+        stats = store.stats()
+        assert stats.entries == self.HOSTS * self.ROUNDS + 1
+        assert stats.entries == len(store)
+        # Per-family counts add up exactly: one family per host plus
+        # the contended row's family.
+        assert stats.families.get("shared") == 1
+        for h in range(self.HOSTS):
+            assert stats.families.get(f"host{h}") == self.ROUNDS
+        assert sum(stats.families.values()) == stats.entries
+        assert sum(stats.backends.values()) == stats.entries
+        store.close()
+
+
 class TestConcurrentWriters:
     def test_parallel_processes_share_one_file(self, tmp_path):
         path = os.fspath(tmp_path / "concurrent.sqlite")
