@@ -1,0 +1,71 @@
+"""Benchmarks of the survey-history layer (ISSUE 9).
+
+Tracks the three history surfaces over a realistically-sized store —
+a 100-point grid banked under 5 code versions (500 rows):
+
+* ``ResultStore.compare`` — the two-salt diff the CLI gate runs;
+* ``trend_report`` — folding the family's rows into per-guarantee
+  trajectories with drift verdicts;
+* ``render_dashboard`` — the full HTML page the front-end serves.
+
+All three are read-only scans, so the bar is absolute sanity (the
+dashboard of a 500-row store must render in well under a second), with
+means reported in ``BENCH_history.json`` for the CI regression guard.
+"""
+
+import pytest
+
+from repro.history import render_dashboard, trend_report, trend_reports
+from repro.store import ResultStore
+from repro.zoo.sweep import _point_store_key
+
+FORMULA = "P=? [ F<=100 goal ]"
+
+#: 100 logical guarantees x 5 code versions = 500 banked rows.
+POINTS = [
+    {"p_up": round(0.05 + 0.01 * i, 2), "n": n}
+    for i in range(25)
+    for n in (8, 16, 24, 32)
+]
+SALTS = [f"bench/v{i}" for i in range(5)]
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    path = tmp_path_factory.mktemp("bench-history") / "history.sqlite"
+    for rev, salt in enumerate(SALTS):
+        with ResultStore(path, salt=salt) as handle:
+            for i, point in enumerate(POINTS):
+                scenario = _point_store_key(
+                    point, family="birth-death", base_params=None, reduce=True
+                )
+                # A tenth of the grid drifts a little on every version.
+                value = 0.5 + (0.01 * rev if i % 10 == 0 else 0.0)
+                handle.put(
+                    scenario, FORMULA, value, backend="exact",
+                    family="birth-death", seconds=0.001,
+                )
+    with ResultStore(path, salt=SALTS[-1]) as handle:
+        yield handle
+
+
+def test_compare_two_salts(benchmark, store):
+    diff = benchmark(store.compare, SALTS[0], SALTS[-1])
+    assert diff.has_drift and len(diff.drifted) == 10
+    benchmark.extra_info["rows"] = len(store)
+
+
+def test_trend_report_full_family(benchmark, store):
+    report = benchmark(trend_report, store, "birth-death")
+    assert len(report.series) == len(POINTS)
+    assert len(report.salts) == len(SALTS)
+    assert report.verdict == "drift"
+
+
+def test_render_dashboard_page(benchmark, store):
+    reports = trend_reports(store)
+    page = benchmark(render_dashboard, reports)
+    assert "birth-death" in page and "<svg" in page
+    benchmark.extra_info["page_bytes"] = len(page)
+    # Absolute sanity bar: a 500-row dashboard renders fast.
+    assert benchmark.stats["mean"] < 1.0

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Check relative markdown links in the docs tree.
+
+Scans ``README.md`` and every ``docs/*.md`` page for markdown links
+(``[text](target)``), resolves each relative target against the file
+that contains it, and fails when the target file does not exist.
+External links (``http://``, ``https://``, ``mailto:``) and pure
+in-page anchors (``#section``) are skipped; a ``path#anchor`` target is
+checked for the path part only.
+
+Usage::
+
+    python scripts/check_doc_links.py
+
+Exit status is the number of broken links (0 = all good), so the CI
+docs job can run it directly.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` with no nested brackets; good enough for our docs.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Schemes that point off-repo and are not checked.
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def doc_files() -> List[Path]:
+    """The markdown files under check: README + the docs tree."""
+    files = [ROOT / "README.md"]
+    files.extend(sorted((ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def broken_links(path: Path) -> List[Tuple[str, str]]:
+    """``(target, reason)`` for every broken relative link in one file."""
+    problems = []
+    text = path.read_text()
+    # Strip fenced code blocks — ``[x](y)`` inside them is not a link.
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            problems.append((target, f"no such file: {resolved}"))
+    return problems
+
+
+def main() -> int:
+    """Entry point; returns the number of broken links."""
+    total = 0
+    for path in doc_files():
+        for target, reason in broken_links(path):
+            total += 1
+            print(
+                f"BROKEN {path.relative_to(ROOT)}: ({target}) — {reason}",
+                file=sys.stderr,
+            )
+    checked = len(doc_files())
+    if total == 0:
+        print(f"all relative links resolve across {checked} file(s)")
+    return total
+
+
+if __name__ == "__main__":
+    sys.exit(main())

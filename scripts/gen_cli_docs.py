@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""Generate the derived documentation pages from the code itself.
+
+Two artifacts, both deterministic so CI can diff them:
+
+* ``docs/cli.md`` — the full ``repro-zoo`` command reference, rendered
+  by walking the real argparse tree (every subcommand and nested
+  subcommand's ``--help`` text at a fixed 80-column width);
+* the *generated section* of ``docs/http-api.md`` — the route table
+  between the ``BEGIN/END GENERATED: routes`` markers, rendered from
+  :data:`repro.service.frontend.ROUTES` (the machine-readable route
+  reference the front-end itself documents).
+
+Usage::
+
+    python scripts/gen_cli_docs.py            # (re)write the files
+    python scripts/gen_cli_docs.py --check    # exit 1 if anything is stale
+
+CI runs ``--check`` in the docs job: a route or CLI flag change that
+forgets to re-run the generator fails the build instead of silently
+drifting the docs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+# Deterministic argparse wrapping regardless of the invoking terminal.
+os.environ["COLUMNS"] = "80"
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.service.frontend import ROUTES  # noqa: E402
+from repro.zoo.cli import _build_parser  # noqa: E402
+
+CLI_PATH = ROOT / "docs" / "cli.md"
+API_PATH = ROOT / "docs" / "http-api.md"
+BEGIN = "<!-- BEGIN GENERATED: routes -->"
+END = "<!-- END GENERATED: routes -->"
+
+CLI_HEADER = """\
+# `repro-zoo` command reference
+
+> **Generated file — do not edit.**  Rendered from the live argparse
+> tree by [`scripts/gen_cli_docs.py`](../scripts/gen_cli_docs.py);
+> CI fails if this page is stale (`gen_cli_docs.py --check`).
+
+Run any command below as `repro-zoo ...` (installed entry point) or
+`python -m repro.zoo ...` (from a checkout with `PYTHONPATH=src`).
+"""
+
+
+def _subcommands(
+    parser: argparse.ArgumentParser,
+) -> List[Tuple[str, argparse.ArgumentParser]]:
+    """``(name, subparser)`` pairs of a parser's subcommands, in order."""
+    for action in parser._actions:  # noqa: SLF001 - argparse has no public walk
+        if isinstance(action, argparse._SubParsersAction):  # noqa: SLF001
+            return list(action.choices.items())
+    return []
+
+
+def render_cli_page() -> str:
+    """The whole ``docs/cli.md`` page as one string."""
+    parser = _build_parser()
+    sections = [CLI_HEADER]
+
+    def emit(title: str, sub: argparse.ArgumentParser, depth: int) -> None:
+        sections.append(f"{'#' * depth} `{title}`\n")
+        sections.append("```text\n" + sub.format_help().rstrip() + "\n```\n")
+        for name, nested in _subcommands(sub):
+            emit(f"{title} {name}", nested, depth + 1)
+
+    sections.append("## `repro-zoo`\n")
+    sections.append("```text\n" + parser.format_help().rstrip() + "\n```\n")
+    for name, sub in _subcommands(parser):
+        emit(f"repro-zoo {name}", sub, 3)
+    return "\n".join(sections)
+
+
+def render_routes_section() -> str:
+    """The generated route table for ``docs/http-api.md``."""
+    lines = [
+        BEGIN,
+        "<!-- Rendered from repro.service.frontend.ROUTES by"
+        " scripts/gen_cli_docs.py; edit the code, then re-run. -->",
+        "",
+        "| Route | Query parameters | Statuses | Summary |",
+        "|---|---|---|---|",
+    ]
+    for route in ROUTES:
+        statuses = "<br>".join(
+            f"`{code}` — {text}" for code, text in sorted(route["statuses"].items())
+        )
+        lines.append(
+            f"| `GET {route['path']}` | {route['query']} |"
+            f" {statuses} | {route['summary']} |"
+        )
+    lines.append(END)
+    return "\n".join(lines)
+
+
+def render_api_page(current: str) -> str:
+    """``docs/http-api.md`` with its generated section replaced."""
+    try:
+        head, rest = current.split(BEGIN, 1)
+        _, tail = rest.split(END, 1)
+    except ValueError:
+        raise SystemExit(
+            f"{API_PATH}: missing {BEGIN!r} / {END!r} markers"
+        ) from None
+    return head + render_routes_section() + tail
+
+
+def main(argv: List[str] | None = None) -> int:
+    """Entry point; ``--check`` diffs instead of writing."""
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero if any generated doc is stale (write nothing)",
+    )
+    opts = ap.parse_args(argv)
+
+    targets: Dict[Path, str] = {CLI_PATH: render_cli_page()}
+    if API_PATH.exists():
+        targets[API_PATH] = render_api_page(API_PATH.read_text())
+    else:
+        raise SystemExit(f"{API_PATH} does not exist; create the page first")
+
+    stale = []
+    for path, wanted in targets.items():
+        current = path.read_text() if path.exists() else None
+        if current != wanted:
+            stale.append(path)
+            if not opts.check:
+                path.write_text(wanted)
+                print(f"wrote {path.relative_to(ROOT)}")
+    if opts.check and stale:
+        for path in stale:
+            print(f"STALE: {path.relative_to(ROOT)} — re-run"
+                  " scripts/gen_cli_docs.py", file=sys.stderr)
+        return 1
+    if not stale:
+        print("generated docs are up to date")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,7 +15,12 @@ One honest end-to-end pass with *real worker processes*:
 5. exercise the serving path: a ``GET /guarantee`` miss returns 202
    with a pollable job, completes on the surviving worker, is banked
    to the store, and the repeat query is a warm 200 hit;
-6. SIGTERM the surviving worker and assert it exits 0 (the graceful
+6. exercise the history surfaces (ISSUE 9): the remote sweep banked
+   its 30 points, so ``GET /dashboard`` returns 200 HTML naming the
+   swept family and ``GET /history`` returns the banked trajectory;
+   seed the store under two extra salts with a planted drift and
+   assert ``repro-zoo history diff`` reports it and exits non-zero;
+7. SIGTERM the surviving worker and assert it exits 0 (the graceful
    deregister path), then stop the servers — no orphans.
 
 Run from the repository root::
@@ -111,9 +116,10 @@ def main() -> int:
 
     kwargs = dict(axes=GRID, backend="apmc", smc=SMC)
     serial = zoo_sweep("mimo-1xN", executor="serial", **kwargs)
+    # The remote sweep banks its points, feeding /history + /dashboard.
     remote = zoo_sweep(
         "mimo-1xN", executor="remote", remote=server.address,
-        shard_size=1, **kwargs,
+        shard_size=1, store=store, **kwargs,
     )
     assert killed.wait(timeout=30), "worker was never killed mid-sweep"
     assert victim.wait(timeout=10) == -signal.SIGKILL
@@ -133,6 +139,10 @@ def main() -> int:
     assert status == 200 and stats_body["coordinator"]["workers_alive"] == 1
 
     # Serving path: miss -> 202 + poll -> banked -> warm 200 hit.
+    banked_before = len(store)
+    assert banked_before >= len(GRID["snr_db"]), (
+        f"remote sweep banked only {banked_before} rows"
+    )
     query = "family=birth-death&n=12"
     status, body = _get(f"http://{front.address}/guarantee?{query}")
     assert status == 202 and not body["cached"], body
@@ -145,12 +155,50 @@ def main() -> int:
         time.sleep(0.1)
     assert job["done"] and job["results"][0]["ok"], job
     deadline = time.time() + 15.0
-    while time.time() < deadline and len(store) == 0:
+    while time.time() < deadline and len(store) == banked_before:
         time.sleep(0.1)  # banking runs on the job-done callback thread
     status, warm = _get(f"http://{front.address}/guarantee?{query}")
     assert status == 200 and warm["cached"], warm
     assert warm["value"] == job["results"][0]["value"], (warm, job)
     print("guarantee miss -> job -> banked -> warm hit OK")
+
+    # History surfaces: the 30 banked sweep points are visible as a
+    # trajectory (one salt so far) and on the dashboard.
+    status, hist = _get(
+        f"http://{front.address}/history?family=mimo-1xN&snr_db=1.0&backend=apmc"
+    )
+    assert status == 200 and hist["count"] >= 1, hist
+    assert hist["family"] == "mimo-1xN", hist
+    assert hist["points"][0]["metric"] == serial[0].value.estimate, hist
+    print(f"GET /history serves {hist['count']} banked point(s)")
+
+    page_req = urllib.request.urlopen(
+        f"http://{front.address}/dashboard", timeout=30
+    )
+    page = page_req.read().decode("utf-8")
+    assert page_req.status == 200, page_req.status
+    assert page_req.headers["Content-Type"].startswith("text/html"), (
+        page_req.headers["Content-Type"]
+    )
+    assert "mimo-1xN" in page and "<svg" in page, page[:400]
+    print("GET /dashboard returns HTML naming the swept family")
+
+    # Cross-version gate: seed two salts with a planted drift and let
+    # the CLI judge them — it must report the drift and exit non-zero.
+    for salt, value in (("smoke-a", 0.5), ("smoke-b", 0.75)):
+        with ResultStore(store_path, salt=salt) as seeded:
+            seeded.put(
+                ("smoke", ("planted",)), "P=? [ F ok ]", value,
+                backend="exact", family="smoke-planted",
+            )
+    diff = subprocess.run(
+        [sys.executable, "-m", "repro.zoo", "history", "diff",
+         "smoke-a", "smoke-b", "--store", store_path],
+        env=env, capture_output=True, text=True, timeout=60,
+    )
+    assert diff.returncode == 1, (diff.returncode, diff.stdout, diff.stderr)
+    assert "DRIFT" in diff.stdout, diff.stdout
+    print("repro-zoo history diff reports the planted drift and exits 1")
 
     # Graceful shutdown: SIGTERM deregisters and exits 0 (the Ctrl-C
     # path), unlike a coordinator-ordered die which is a hard exit.

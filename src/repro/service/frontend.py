@@ -21,6 +21,14 @@ server (hand-rolled GET parsing — no new dependencies) in front of the
     ``degraded`` when some died, with the per-worker verdicts.
 ``GET /stats``
     Store stats + coordinator worker/job stats in one payload.
+``GET /history?family=...&<param>=<value>``
+    Survey history: the banked trajectory of one guarantee across
+    code versions (store salts), straight from the store — the JSON
+    twin of the dashboard (see :mod:`repro.history`).
+``GET /dashboard``
+    Self-contained HTML dashboard (inline SVG sparklines, no JS):
+    per-family guarantee trends plus the ``/stats`` + ``/healthz``
+    snapshot.
 
 The computed value of a ``/guarantee`` miss is bit-identical to a
 serial ``zoo.sweep`` of the same single-point grid: the job's seed
@@ -46,15 +54,89 @@ from ..engine.sweep import CHECK_BACKENDS, _check_point
 from .coordinator import Coordinator, Job
 from .wire import decode_result
 
-__all__ = ["Frontend", "FrontendServer"]
+__all__ = ["Frontend", "FrontendServer", "ROUTES"]
 
-_STATUS_TEXT = {200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found"}
+_STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    503: "Service Unavailable",
+}
 
 #: ``/guarantee`` query keys that are service knobs, not family params.
 _RESERVED = (
     "family", "formula", "backend", "theta",
-    "epsilon", "delta", "seed", "reduce",
+    "epsilon", "delta", "seed", "reduce", "tolerance",
 )
+
+#: Machine-readable route reference — the single source of truth the
+#: generated section of ``docs/http-api.md`` is rendered from
+#: (``scripts/gen_cli_docs.py``); keep in sync with :meth:`Frontend.route`.
+ROUTES = [
+    {
+        "path": "/guarantee",
+        "query": "family (required), formula, backend, theta, epsilon,"
+                 " delta, seed, reduce, plus any family parameter",
+        "statuses": {
+            200: "warm store hit, value served without touching the engine",
+            202: "miss enqueued as a single-point job; poll /jobs/<id>",
+            400: "unknown family/backend, or sprt without theta",
+        },
+        "summary": "Serve one guarantee from the store, or compute it"
+                   " on the worker fleet and bank it.",
+    },
+    {
+        "path": "/jobs/<id>",
+        "query": "none",
+        "statuses": {
+            200: "job snapshot: status, per-point results, quarantines",
+            404: "unknown job id",
+        },
+        "summary": "Poll a /guarantee miss (or any coordinator job).",
+    },
+    {
+        "path": "/healthz",
+        "query": "none",
+        "statuses": {
+            200: "status 'ok' (all workers heartbeating) or 'degraded'"
+                 " (some died), with per-worker verdicts",
+        },
+        "summary": "Fleet liveness probe.",
+    },
+    {
+        "path": "/stats",
+        "query": "none",
+        "statuses": {
+            200: "store stats + coordinator worker/job stats + hit/miss"
+                 " counters",
+        },
+        "summary": "One aggregate service snapshot.",
+    },
+    {
+        "path": "/history",
+        "query": "family (required), formula, backend, reduce, plus any"
+                 " family parameter",
+        "statuses": {
+            200: "the guarantee's banked trajectory across salts, in"
+                 " insertion order",
+            400: "unknown family/backend",
+            503: "front-end running without a result store",
+        },
+        "summary": "Survey history of one guarantee across code"
+                   " versions (store salts), as JSON.",
+    },
+    {
+        "path": "/dashboard",
+        "query": "tolerance (relative drift tolerance, default 1e-6)",
+        "statuses": {
+            200: "self-contained HTML dashboard (inline SVG sparklines)",
+            400: "tolerance is not a float",
+        },
+        "summary": "Per-family guarantee trend dashboard plus the"
+                   " /stats and /healthz snapshot.",
+    },
+]
 
 
 def _literal(text: str) -> Any:
@@ -107,7 +189,9 @@ class Frontend:
 
     # -- /guarantee --------------------------------------------------------
 
-    def _parse_guarantee(self, params: Dict[str, str]) -> Dict[str, Any]:
+    def _parse_guarantee(
+        self, params: Dict[str, str], *, require_theta: bool = True
+    ) -> Dict[str, Any]:
         from ..zoo.registry import ZooError, get_model
 
         family = params.get("family")
@@ -124,7 +208,7 @@ class Frontend:
                 f" choose from {', '.join(CHECK_BACKENDS)}"
             )
         theta = float(params["theta"]) if "theta" in params else None
-        if backend == "sprt" and theta is None:
+        if backend == "sprt" and theta is None and require_theta:
             raise _BadRequest("backend=sprt requires theta=<threshold>")
         point = {
             key: _literal(value)
@@ -145,8 +229,9 @@ class Frontend:
             "point": point,
         }
 
-    def _store_lookup(self, query: Dict[str, Any]) -> Tuple[Any, Any, Any]:
-        """(scenario id, config fingerprint, hit-or-None) for one query."""
+    def _identity(self, query: Dict[str, Any]) -> Tuple[Any, Any]:
+        """(scenario id, config fingerprint) — the store-key pieces of
+        one parsed query, exactly as ``zoo.sweep`` would compute them."""
         from ..store import check_fingerprint
         from ..zoo.sweep import _point_store_key
 
@@ -160,6 +245,11 @@ class Frontend:
             query["backend"], smc=query["smc"], solver=None,
             theta=query["theta"],
         )
+        return scenario_id, fingerprint
+
+    def _store_lookup(self, query: Dict[str, Any]) -> Tuple[Any, Any, Any]:
+        """(scenario id, config fingerprint, hit-or-None) for one query."""
+        scenario_id, fingerprint = self._identity(query)
         if self.store is None:
             return scenario_id, fingerprint, None
         hit = self.store.get(
@@ -265,6 +355,68 @@ class Frontend:
         body.update(cached=False, job=job_id, poll=f"/jobs/{job_id}")
         return 202, body
 
+    # -- /history & /dashboard ---------------------------------------------
+
+    def history(self, params: Dict[str, str]) -> Tuple[int, Dict[str, Any]]:
+        """Survey history of one guarantee across salts, as JSON.
+
+        The query names a scenario exactly as ``/guarantee`` does; the
+        response is every banked value of that ``(scenario, formula,
+        backend)`` identity across *all* salts (code versions) in
+        insertion order, each point carrying its salt, config
+        fingerprint, provenance and validation warnings.  Purely a
+        store read — never touches the engine or the fleet.
+        """
+        if self.store is None:
+            return 503, {
+                "error": "no result store configured"
+                " (run `repro-zoo serve --store PATH`)"
+            }
+        query = self._parse_guarantee(params, require_theta=False)
+        scenario_id, _fingerprint = self._identity(query)
+        points = self.store.history(
+            scenario_id, query["formula"], query["backend"]
+        )
+        return 200, {
+            "family": query["family"],
+            "formula": query["formula"],
+            "backend": query["backend"],
+            "point": query["point"],
+            "count": len(points),
+            "salts": list(dict.fromkeys(p.salt for p in points)),
+            "points": [
+                {
+                    "salt": p.salt,
+                    "value": _public_value(p.value),
+                    "metric": p.metric,
+                    "seconds": p.seconds,
+                    "samples": p.samples,
+                    "created": p.created,
+                    "config": p.config,
+                    "warnings": [_public_value(w) for w in p.warnings],
+                }
+                for p in points
+            ],
+        }
+
+    def dashboard(self, params: Dict[str, str]) -> Tuple[int, str]:
+        """The self-contained HTML trend dashboard (see :mod:`repro.history`)."""
+        from ..history import render_dashboard, trend_reports
+        from ..store.history import DRIFT_TOLERANCE
+
+        try:
+            tolerance = float(params.get("tolerance", DRIFT_TOLERANCE))
+        except ValueError:
+            raise _BadRequest("tolerance must be a float") from None
+        reports = (
+            trend_reports(self.store, tolerance=tolerance)
+            if self.store is not None
+            else []
+        )
+        _, stats = self.stats_payload()
+        _, health = self.healthz()
+        return 200, render_dashboard(reports, stats=stats, health=health)
+
     # -- /jobs/<id> --------------------------------------------------------
 
     def job(self, job_id: str) -> Tuple[int, Dict[str, Any]]:
@@ -345,8 +497,13 @@ class Frontend:
 
     # -- routing -----------------------------------------------------------
 
-    def route(self, method: str, target: str) -> Tuple[int, Dict[str, Any]]:
-        """Dispatch one request line; pure function of frontend state."""
+    def route(self, method: str, target: str) -> Tuple[int, Any]:
+        """Dispatch one request line; pure function of frontend state.
+
+        Returns ``(status, payload)`` where the payload is a dict
+        (serialized as JSON) for every route except ``/dashboard``,
+        which returns the rendered HTML page as a string.
+        """
         if method != "GET":
             return 400, {"error": f"only GET is served, not {method}"}
         parts = urlsplit(target)
@@ -359,6 +516,10 @@ class Frontend:
                 return self.stats_payload()
             if path == "/guarantee":
                 return self.guarantee(params)
+            if path == "/history":
+                return self.history(params)
+            if path == "/dashboard":
+                return self.dashboard(params)
             if path.startswith("/jobs/"):
                 return self.job(path[len("/jobs/"):])
         except _BadRequest as exc:
@@ -413,10 +574,17 @@ class FrontendServer:
             status, payload = await loop.run_in_executor(
                 None, self.frontend.route, method, target
             )
-            body = json.dumps(payload, indent=2, default=repr).encode("utf-8")
+            # Routes answer dict payloads (JSON) or ready-rendered
+            # text payloads (the HTML dashboard).
+            if isinstance(payload, str):
+                body = payload.encode("utf-8")
+                content_type = "text/html; charset=utf-8"
+            else:
+                body = json.dumps(payload, indent=2, default=repr).encode("utf-8")
+                content_type = "application/json"
             head = (
                 f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
-                f"Content-Type: application/json\r\n"
+                f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(body)}\r\n"
                 f"Connection: close\r\n\r\n"
             ).encode("latin-1")

@@ -21,6 +21,14 @@ contract.
 True
 """
 
+from .history import (
+    DRIFT_TOLERANCE,
+    DiffEntry,
+    HistoryPoint,
+    SaltDiff,
+    metric_of,
+    relative_drift,
+)
 from .result_store import (
     SCHEMA_VERSION,
     ResultStore,
@@ -36,8 +44,12 @@ from .result_store import (
 )
 
 __all__ = [
+    "DRIFT_TOLERANCE",
+    "DiffEntry",
+    "HistoryPoint",
     "SCHEMA_VERSION",
     "ResultStore",
+    "SaltDiff",
     "StoreError",
     "StoreStats",
     "StoredResult",
@@ -46,5 +58,7 @@ __all__ = [
     "encode_value",
     "decode_value",
     "make_key",
+    "metric_of",
     "read_through",
+    "relative_drift",
 ]

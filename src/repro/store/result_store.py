@@ -54,6 +54,13 @@ from ..core.analyzer import Guarantee
 from ..engine.config import SmcConfig, SolverConfig
 from ..smc.hoeffding import ApmcResult
 from ..smc.sprt import SprtResult
+from .history import (
+    DRIFT_TOLERANCE,
+    DiffEntry,
+    HistoryPoint,
+    SaltDiff,
+    classify_pair,
+)
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -71,7 +78,9 @@ __all__ = [
 
 #: Bumped whenever the row schema or the value encoding changes; part
 #: of the default salt, so stale stores never serve mis-shaped rows.
-SCHEMA_VERSION = 1
+#: v2 added the queryable ``salt`` column (survey history over
+#: versions); v1 files are migrated in place on first open.
+SCHEMA_VERSION = 2
 
 
 class StoreError(Exception):
@@ -249,6 +258,19 @@ class StoredResult:
     created: float = 0.0
     updated: float = 0.0
     hits: int = 0
+    salt: str = ""
+
+    def describe(self) -> str:
+        """One human-readable block: identity, salt, value, provenance."""
+        value = self.value
+        shown = f"{value:.6g}" if isinstance(value, float) else repr(value)
+        return (
+            f"{self.family or '?'} {canonical(self.scenario)}\n"
+            f"  formula: {self.formula}   backend: {self.backend}\n"
+            f"  salt: {self.salt or '?'}   key: {self.key[:16]}...\n"
+            f"  value: {shown}   ({self.seconds:.3f}s,"
+            f" {self.samples} samples, {self.hits} hits served)"
+        )
 
 
 @dataclass
@@ -263,13 +285,21 @@ class StoreStats:
     compute_seconds: float
     total_hits: int
     db_bytes: int
+    schema_version: int = SCHEMA_VERSION
+    salts: Dict[str, int] = field(default_factory=dict)
 
     def describe(self) -> str:
+        """Multi-line summary (printed verbatim by ``store stats``)."""
         fams = ", ".join(f"{k}={v}" for k, v in sorted(self.families.items()))
         backs = ", ".join(f"{k}={v}" for k, v in sorted(self.backends.items()))
+        per_salt = ", ".join(
+            f"{k or '?'}={v}" for k, v in sorted(self.salts.items())
+        )
         return (
             f"store: {self.path} (salt {self.salt})\n"
+            f"schema: v{self.schema_version}\n"
             f"entries: {self.entries}   hits served: {self.total_hits}\n"
+            f"rows per salt: {per_salt or '-'}\n"
             f"families: {fams or '-'}\n"
             f"backends: {backs or '-'}\n"
             f"compute seconds banked: {self.compute_seconds:.3f}\n"
@@ -291,11 +321,19 @@ CREATE TABLE IF NOT EXISTS results (
     extra    TEXT NOT NULL DEFAULT '{}',
     created  REAL NOT NULL,
     updated  REAL NOT NULL,
-    hits     INTEGER NOT NULL DEFAULT 0
+    hits     INTEGER NOT NULL DEFAULT 0,
+    salt     TEXT NOT NULL DEFAULT ''
 );
 CREATE INDEX IF NOT EXISTS idx_results_family ON results (family);
 CREATE INDEX IF NOT EXISTS idx_results_backend ON results (backend);
 """
+
+#: Explicit row column order for every SELECT — robust against the
+#: v1 -> v2 migration appending ``salt`` after ``hits``.
+_COLUMNS = (
+    "key, scenario, family, formula, backend, config, payload,"
+    " seconds, samples, extra, created, updated, hits, salt"
+)
 
 
 class ResultStore:
@@ -347,11 +385,26 @@ class ResultStore:
             conn.execute("PRAGMA journal_mode=WAL")
             conn.execute("PRAGMA synchronous=NORMAL")
             conn.executescript(_SCHEMA)
+            # v1 -> v2 migration: older files lack the salt column the
+            # history queries group by.  Backfilled rows keep '' — their
+            # keys were hashed under a v1 default salt anyway, so they
+            # are history-visible but never served as warm hits.
+            columns = {
+                row[1] for row in conn.execute("PRAGMA table_info(results)")
+            }
+            if "salt" not in columns:
+                conn.execute(
+                    "ALTER TABLE results ADD COLUMN salt TEXT NOT NULL DEFAULT ''"
+                )
+            conn.execute(
+                "CREATE INDEX IF NOT EXISTS idx_results_salt ON results (salt)"
+            )
             conn.commit()
             self._conn = conn
         return self._conn
 
     def close(self) -> None:
+        """Close the sqlite connection (reopened lazily on next use)."""
         if self._conn is not None:
             self._conn.close()
             self._conn = None
@@ -413,14 +466,16 @@ class ResultStore:
                 """
                 INSERT INTO results
                     (key, scenario, family, formula, backend, config,
-                     payload, seconds, samples, extra, created, updated, hits)
-                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, 0)
+                     payload, seconds, samples, extra, created, updated,
+                     hits, salt)
+                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, 0, ?)
                 ON CONFLICT(key) DO UPDATE SET
                     payload = excluded.payload,
                     seconds = excluded.seconds,
                     samples = excluded.samples,
                     extra = excluded.extra,
-                    updated = excluded.updated
+                    updated = excluded.updated,
+                    salt = excluded.salt
                 """,
                 (
                     key,
@@ -435,6 +490,7 @@ class ResultStore:
                     json.dumps(extra_dict, sort_keys=True),
                     now,
                     now,
+                    self.salt,
                 ),
             )
             conn.commit()
@@ -475,7 +531,8 @@ class ResultStore:
         with self._lock:
             conn = self._connection()
             rows = conn.execute(
-                f"SELECT * FROM results WHERE key IN ({marks})", unique
+                f"SELECT {_COLUMNS} FROM results WHERE key IN ({marks})",
+                unique,
             ).fetchall()
             found = {row[0]: row for row in rows}
             if found:
@@ -495,7 +552,7 @@ class ResultStore:
     def _row_to_result(row: Tuple) -> StoredResult:
         (
             key, scenario, family, formula, backend, config,
-            payload, seconds, samples, extra, created, updated, hits,
+            payload, seconds, samples, extra, created, updated, hits, salt,
         ) = row
         return StoredResult(
             key=key,
@@ -511,6 +568,7 @@ class ResultStore:
             created=created,
             updated=updated,
             hits=hits,
+            salt=salt,
         )
 
     # -- maintenance / introspection ------------------------------------------
@@ -525,13 +583,144 @@ class ResultStore:
     ) -> List[StoredResult]:
         """Scan stored rows, newest first, with optional filters."""
         where, params = self._filters(family, backend, formula)
-        sql = f"SELECT * FROM results{where} ORDER BY updated DESC"
+        sql = f"SELECT {_COLUMNS} FROM results{where} ORDER BY updated DESC"
         if limit is not None:
             sql += " LIMIT ?"
             params.append(int(limit))
         with self._lock:
             rows = self._connection().execute(sql, params).fetchall()
         return [self._row_to_result(row) for row in rows]
+
+    # -- survey history (cross-salt) ------------------------------------------
+
+    def salts(self) -> List[str]:
+        """Every distinct salt in the file, in first-insertion order.
+
+        The salt axis *is* the version axis (the default salt embeds
+        the package version and store schema), so this is the ordered
+        list of code versions that ever banked into this file.
+        """
+        with self._lock:
+            rows = self._connection().execute(
+                "SELECT salt FROM results GROUP BY salt ORDER BY MIN(rowid)"
+            ).fetchall()
+        return [row[0] for row in rows]
+
+    def history(
+        self,
+        scenario: Any,
+        formula: str,
+        backend: str = "exact",
+        *,
+        config: Any = None,
+        salt: Optional[str] = None,
+    ) -> List[HistoryPoint]:
+        """How one logical guarantee moved across salts (versions).
+
+        Matches rows on the stored ``(scenario, formula, backend)``
+        identity *across every salt* — the inverse of :meth:`get`,
+        which only ever sees the store's own salt — and returns one
+        :class:`~repro.store.history.HistoryPoint` per banked row, in
+        insertion order.  ``config=`` narrows to one exact backend
+        fingerprint (pass the :func:`check_fingerprint` dict); by
+        default every fingerprint's trajectory is returned, each point
+        carrying its ``config``.  ``salt=`` restricts to one version.
+        """
+        clauses = ["scenario = ?", "formula = ?", "backend = ?"]
+        params: List[Any] = [canonical(scenario), formula, backend]
+        if config is not None:
+            clauses.append("config = ?")
+            params.append(canonical(config))
+        if salt is not None:
+            clauses.append("salt = ?")
+            params.append(salt)
+        sql = (
+            f"SELECT {_COLUMNS} FROM results"
+            f" WHERE {' AND '.join(clauses)} ORDER BY rowid"
+        )
+        with self._lock:
+            rows = self._connection().execute(sql, params).fetchall()
+        return [self._row_to_point(row) for row in rows]
+
+    @classmethod
+    def _row_to_point(cls, row: Tuple) -> HistoryPoint:
+        """Build one :class:`HistoryPoint` from a raw results row."""
+        result = cls._row_to_result(row)
+        return HistoryPoint(
+            salt=result.salt,
+            value=result.value,
+            seconds=result.seconds,
+            samples=result.samples,
+            created=result.created,
+            config=result.config,
+            key=result.key,
+            warnings=tuple(getattr(result.value, "warnings", ()) or ()),
+        )
+
+    def compare(
+        self,
+        salt_a: str,
+        salt_b: str,
+        *,
+        tolerance: float = DRIFT_TOLERANCE,
+        family: Optional[str] = None,
+    ) -> SaltDiff:
+        """Classified diff of two salts' rows (version A vs version B).
+
+        Each logical key — ``(scenario, formula, backend, config)`` —
+        present under either salt is classified as ``unchanged``,
+        ``drifted`` (relative metric change beyond ``tolerance``; see
+        :func:`repro.store.history.classify_pair`), ``appeared`` (only
+        under ``salt_b``) or ``vanished`` (only under ``salt_a``).
+        ``family=`` narrows the comparison to one zoo family.
+        """
+        where = " WHERE salt = ?" + (" AND family = ?" if family else "")
+
+        def rows_for(salt: str) -> Dict[Tuple, StoredResult]:
+            """One salt's rows, keyed by logical identity."""
+            params: List[Any] = [salt]
+            if family:
+                params.append(family)
+            with self._lock:
+                rows = self._connection().execute(
+                    f"SELECT {_COLUMNS} FROM results{where} ORDER BY rowid",
+                    params,
+                ).fetchall()
+            results = [self._row_to_result(row) for row in rows]
+            return {
+                (canonical(r.scenario), r.formula, r.backend,
+                 canonical(r.config)): r
+                for r in results
+            }
+
+        side_a, side_b = rows_for(salt_a), rows_for(salt_b)
+        diff = SaltDiff(salt_a=salt_a, salt_b=salt_b, tolerance=tolerance)
+        for ident in list(side_a) + [k for k in side_b if k not in side_a]:
+            a, b = side_a.get(ident), side_b.get(ident)
+            base = a or b
+            entry = DiffEntry(
+                scenario=base.scenario,
+                formula=base.formula,
+                backend=base.backend,
+                config=base.config,
+                family=base.family,
+                status="",
+                value_a=a.value if a else None,
+                value_b=b.value if b else None,
+            )
+            if a is None:
+                entry.status = "appeared"
+                diff.appeared.append(entry)
+            elif b is None:
+                entry.status = "vanished"
+                diff.vanished.append(entry)
+            else:
+                entry.status, entry.drift = classify_pair(
+                    a.value, b.value, tolerance
+                )
+                (diff.drifted if entry.status == "drifted"
+                 else diff.unchanged).append(entry)
+        return diff
 
     def invalidate(
         self,
@@ -580,6 +769,11 @@ class ResultStore:
                     "SELECT backend, COUNT(*) FROM results GROUP BY backend"
                 ).fetchall()
             )
+            salts = dict(
+                conn.execute(
+                    "SELECT salt, COUNT(*) FROM results GROUP BY salt"
+                ).fetchall()
+            )
         try:
             db_bytes = os.path.getsize(self.path)
         except OSError:
@@ -593,6 +787,8 @@ class ResultStore:
             compute_seconds=seconds,
             total_hits=hits,
             db_bytes=db_bytes,
+            schema_version=SCHEMA_VERSION,
+            salts=salts,
         )
 
     def __len__(self) -> int:
@@ -627,10 +823,12 @@ def read_through(
     """
 
     def decorate(fn: Callable) -> Callable:
+        """Bind the store (and key/extra hooks) into ``fn``'s kwargs."""
         import functools
 
         @functools.wraps(fn)
         def wrapper(*args: Any, **kwargs: Any) -> Any:
+            """``fn`` with the captured store defaults applied."""
             kwargs.setdefault("store", store)
             if key is not None:
                 kwargs.setdefault("store_key", key)

@@ -12,6 +12,9 @@ Subcommands::
     repro-zoo store stats --store results.sqlite
     repro-zoo store query --store results.sqlite --family mimo-1xN
     repro-zoo store clear --store results.sqlite [--family ...]
+    repro-zoo history list --store results.sqlite
+    repro-zoo history show mimo-1xN --store results.sqlite
+    repro-zoo history diff SALT_A SALT_B --store results.sqlite
     repro-zoo serve --port 8080 --store results.sqlite --workers 2
     repro-zoo worker --connect HOST:9100
     repro-zoo sweep mimo-1xN -g snr_db=4,6,8 --executor remote --connect HOST:9100
@@ -30,6 +33,14 @@ both quarantined into the result table instead of sinking the sweep.
 ``--resume`` re-runs an interrupted sweep against its ``--store``
 checkpoint, recomputing only the missing points; the sweep report
 printed after every run shows the cached/recomputed split.
+
+``history`` reads the survey-history axis of a store (see
+:mod:`repro.history`): ``list`` shows every salt (code version) that
+ever banked into the file, ``show`` prints a family's guarantee
+trajectories across those versions with drift/regression verdicts,
+and ``diff`` classifies two salts' rows as unchanged / drifted /
+appeared / vanished — exiting non-zero when anything drifted beyond
+the tolerance, so CI can gate on it.
 
 ``serve`` runs the networked guarantee service (coordinator + HTTP
 front-end + optional local workers); ``worker`` joins a running
@@ -277,6 +288,44 @@ def _cmd_store(args: argparse.Namespace) -> int:
     )
     print(f"invalidated {removed} cached result(s) in {args.store}")
     return 0
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    from ..store import ResultStore
+
+    store = ResultStore(args.store)
+    if args.history_command == "list":
+        stats = store.stats()
+        salts = store.salts()
+        if not salts:
+            print(f"no banked results in {args.store}")
+            return 0
+        rows = [[salt or "''", str(stats.salts.get(salt, 0))] for salt in salts]
+        print(format_table(["salt (code version)", "rows"], rows))
+        print(
+            f"{len(salts)} version(s), {len(store)} row(s) total,"
+            f" schema v{stats.schema_version}"
+        )
+        return 0
+    if args.history_command == "show":
+        from ..history import trend_report
+
+        report = trend_report(
+            store, args.family, formula=args.formula,
+            backend=args.backend, tolerance=args.tolerance,
+        )
+        if not report.series:
+            print(f"no banked results for family {args.family!r} in {args.store}")
+            return 1
+        print(report.describe())
+        return 0
+    # diff
+    diff = store.compare(
+        args.salt_a, args.salt_b,
+        tolerance=args.tolerance, family=args.family,
+    )
+    print(diff.describe())
+    return 1 if diff.has_drift else 0
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
@@ -534,6 +583,48 @@ def _build_parser() -> argparse.ArgumentParser:
         if name == "query":
             p.add_argument("--limit", type=int, help="show at most N rows")
         p.set_defaults(fn=_cmd_store)
+
+    p_history = sub.add_parser(
+        "history",
+        help="guarantee trends across the code versions banked in a store",
+    )
+    history_sub = p_history.add_subparsers(dest="history_command", required=True)
+
+    h_list = history_sub.add_parser(
+        "list", help="show every salt (code version) in a store, with row counts"
+    )
+    h_show = history_sub.add_parser(
+        "show", help="print one family's guarantee trajectories across versions"
+    )
+    h_show.add_argument("family", help="zoo family to report on")
+    h_show.add_argument("--formula", help="narrow to one pCTL property")
+    h_show.add_argument(
+        "--backend", choices=("exact", "apmc", "sprt"),
+        help="narrow to one checking backend",
+    )
+    h_diff = history_sub.add_parser(
+        "diff",
+        help="classify two versions' rows as unchanged/drifted/appeared/"
+             "vanished; exits 1 on drift beyond tolerance",
+    )
+    h_diff.add_argument("salt_a", help="baseline salt (see `history list`)")
+    h_diff.add_argument("salt_b", help="candidate salt to compare against")
+    h_diff.add_argument("--family", help="narrow the diff to one zoo family")
+    from ..store import DRIFT_TOLERANCE
+
+    for p in (h_list, h_show, h_diff):
+        p.add_argument(
+            "--store", metavar="PATH", required=True,
+            help="path of the sqlite guarantee store",
+        )
+        if p is not h_list:
+            p.add_argument(
+                "--tolerance", type=float, default=DRIFT_TOLERANCE,
+                metavar="REL",
+                help="relative drift below this is 'unchanged'"
+                     f" (default {DRIFT_TOLERANCE:g})",
+            )
+        p.set_defaults(fn=_cmd_history)
     return parser
 
 
