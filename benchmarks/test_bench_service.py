@@ -1,6 +1,6 @@
-"""Benchmarks of the networked guarantee service (ISSUE 8 acceptance).
+"""Benchmarks of the networked guarantee service (ISSUE 8 + 10).
 
-Two bars, reported in ``BENCH_service.json`` for the CI regression
+Three bars, reported in ``BENCH_service.json`` for the CI regression
 guard:
 
 * a **warm** ``GET /guarantee`` hit must be answered straight from the
@@ -9,20 +9,28 @@ guard:
 * a 2-worker **remote** sweep must produce results bit-identical to
   the serial path (values, samples, ordering); the serial and remote
   wall-clocks land in ``extra_info`` so the throughput trend is
-  tracked across CI runs without asserting on machine speed.
+  tracked across CI runs without asserting on machine speed;
+* the durable **job journal** (ISSUE 10) must stay cheap: a 100-point
+  remote sweep on a journalled coordinator may cost at most 10% more
+  wall-clock than the identical sweep on a journal-less one (plus a
+  small absolute epsilon to absorb scheduler jitter on tiny totals).
 
-The fleet is real: two ``python -m repro.zoo worker`` subprocesses
-pulling shard leases over TCP, exactly what ``repro-zoo serve
---workers 2`` starts.
+The fleet behind the first two bars is real: two ``python -m repro.zoo
+worker`` subprocesses pulling shard leases over TCP, exactly what
+``repro-zoo serve --workers 2`` starts.  The journal bar uses
+in-process worker threads so the A/B comparison isolates the sqlite
+writes instead of process scheduling noise.
 """
 
 import json
 import os
 import subprocess
 import sys
+import threading
 import time
 import urllib.error
 import urllib.request
+from contextlib import contextmanager
 from dataclasses import asdict
 
 import pytest
@@ -30,7 +38,13 @@ import pytest
 import repro
 from repro import zoo
 from repro.engine import SmcConfig
-from repro.service import CoordinatorServer, Frontend, FrontendServer
+from repro.service import (
+    CoordinatorServer,
+    Frontend,
+    FrontendServer,
+    Worker,
+    remote_sweep,
+)
 from repro.service.client import service_stats
 from repro.store import ResultStore
 
@@ -171,3 +185,93 @@ def test_bench_service_remote_sweep_vs_serial(benchmark, service):
     assert [asdict(r.value) for r in remote] == [
         asdict(r.value) for r in serial
     ]
+
+
+# ----------------------------------------------------------------------
+# Journal overhead (ISSUE 10)
+# ----------------------------------------------------------------------
+
+def _bench_point(x):
+    """A small deterministic unit of work (~1ms)."""
+    total = 0
+    for i in range(20_000):
+        total += (x * i) % 97
+    return total
+
+
+class _ThreadWorker(Worker):
+    def _die(self):  # coordinator-ordered death must not kill pytest
+        self.stop()
+
+
+@contextmanager
+def _thread_fleet(journal=None):
+    """A coordinator plus two in-process worker threads."""
+    server = CoordinatorServer(port=0, heartbeat=0.5, journal=journal).start()
+    workers = [
+        _ThreadWorker(server.address, poll=0.01, name=f"jbench-{i}")
+        for i in range(2)
+    ]
+    threads = [threading.Thread(target=w.run, daemon=True) for w in workers]
+    for thread in threads:
+        thread.start()
+    deadline = time.time() + 30.0
+    while time.time() < deadline:
+        if server.coordinator.stats()["workers_alive"] >= 2:
+            break
+        time.sleep(0.01)
+    try:
+        yield server
+    finally:
+        for worker in workers:
+            worker.stop()
+        server.stop()
+        for thread in threads:
+            thread.join(timeout=5.0)
+
+
+def test_bench_service_journal_overhead(benchmark, tmp_path):
+    """A journalled 100-point remote sweep costs <10% over journal-less.
+
+    Both flavours run on an identical in-process 2-worker fleet with
+    ``shard_size=5`` (20 lease grants, 20 merged result batches — the
+    exact traffic the journal persists).  Best-of-2 on each side to
+    shave scheduler noise; the bound gets a small absolute epsilon
+    because the totals are fractions of a second.
+    """
+    points = list(range(100))
+    expected = [_bench_point(x) for x in points]
+
+    def run(server):
+        results = remote_sweep(
+            _bench_point, points, connect=server.address, shard_size=5
+        )
+        assert [r.value for r in results] == expected
+        return results
+
+    with _thread_fleet() as plain:
+        run(plain)  # warm-up: imports, first connections
+        plain_best = float("inf")
+        for _ in range(2):
+            start = time.perf_counter()
+            run(plain)
+            plain_best = min(plain_best, time.perf_counter() - start)
+
+    with _thread_fleet(journal=tmp_path / "bench-journal.sqlite") as journalled:
+        run(journalled)  # warm-up on the journalled fleet too
+        benchmark.pedantic(
+            _timed("journalled", lambda: run(journalled)),
+            rounds=2,
+            iterations=1,
+        )
+        assert journalled.coordinator.stats()["journal"]["results"] > 0
+    journalled_best = _SECONDS["journalled"]
+
+    benchmark.extra_info["plain_seconds"] = plain_best
+    benchmark.extra_info["journalled_seconds"] = journalled_best
+    benchmark.extra_info["overhead_ratio"] = journalled_best / plain_best
+    benchmark.extra_info["points"] = len(points)
+    assert journalled_best <= plain_best * 1.10 + 0.25, (
+        f"journal overhead too high: {journalled_best:.3f}s journalled "
+        f"vs {plain_best:.3f}s plain"
+    )

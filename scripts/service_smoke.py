@@ -23,6 +23,21 @@ One honest end-to-end pass with *real worker processes*:
 7. SIGTERM the surviving worker and assert it exits 0 (the graceful
    deregister path), then stop the servers — no orphans.
 
+Then the durability phase (ISSUE 10) — this time the *coordinator*
+is the victim:
+
+8. start a journalled ``repro-zoo serve`` subprocess on fixed ports
+   plus two reconnecting worker subprocesses, and SIGKILL the serve
+   process once a few shards have been journalled mid-sweep;
+9. restart the identical serve command on the same ports: with the
+   workers SIGSTOPped, ``GET /healthz`` on the new incarnation reports
+   ``degraded`` (replayed unfinished job, zero live workers) and a
+   bumped epoch; after SIGCONT the workers re-register on their own
+   and ``/healthz`` recovers to ``ok`` with no human intervention;
+10. assert the client sweep — whose retry budget rode out the outage —
+    completed bit-identical to serial, and the store banked exactly
+    one row per point.
+
 Run from the repository root::
 
     PYTHONPATH=src python scripts/service_smoke.py
@@ -46,6 +61,7 @@ from repro.service import (  # noqa: E402
     CoordinatorServer,
     Frontend,
     FrontendServer,
+    free_port,
 )
 from repro.service.client import service_stats  # noqa: E402
 from repro.store import ResultStore  # noqa: E402
@@ -61,6 +77,139 @@ def _get(url):
             return resp.status, json.load(resp)
     except urllib.error.HTTPError as exc:
         return exc.code, json.load(exc)
+
+
+def _coordinator_crash_phase(env) -> None:
+    """SIGKILL the coordinator mid-sweep, restart it on the same
+    journal, and assert the fleet heals itself (ISSUE 10)."""
+    tmp = tempfile.mkdtemp(prefix="service-smoke-crash-")
+    journal = os.path.join(tmp, "journal.sqlite")
+    store_path = os.path.join(tmp, "crash.sqlite")
+    coord_port, http_port = free_port(), free_port()
+    address = f"127.0.0.1:{coord_port}"
+    serve_cmd = [
+        sys.executable, "-m", "repro.zoo", "serve",
+        "--coordinator-port", str(coord_port), "--port", str(http_port),
+        "--workers", "0", "--journal", journal, "--store", store_path,
+        "--heartbeat", "0.2",
+    ]
+    serve = subprocess.Popen(serve_cmd, env=env)
+    workers = [
+        subprocess.Popen(
+            [sys.executable, "-m", "repro.zoo", "worker",
+             "--connect", address, "--name", f"crash-{i}",
+             "--reconnect-attempts", "60"],
+            env=env,
+        )
+        for i in range(2)
+    ]
+    serve2 = None
+    try:
+        deadline = time.time() + 60.0
+        while time.time() < deadline:
+            if service_stats(address)["workers_alive"] >= 2:
+                break
+            time.sleep(0.2)
+        stats = service_stats(address)
+        assert stats["workers_alive"] == 2, f"crash fleet never came up: {stats}"
+        epoch_before = stats["epoch"]
+        print(f"journalled coordinator up (epoch {epoch_before}), 2 workers")
+
+        grid = {"snr_db": [float(snr) for snr in range(1, 13)]}  # 12 points
+        kwargs = dict(axes=grid, backend="apmc", smc=SMC)
+        serial = zoo_sweep("mimo-1xN", executor="serial", **kwargs)
+        store = ResultStore(store_path)
+        box = {}
+
+        def _client() -> None:
+            box["results"] = zoo_sweep(
+                "mimo-1xN", executor="remote", remote=address,
+                shard_size=1, store=store, **kwargs,
+            )
+
+        runner = threading.Thread(target=_client, daemon=True)
+        runner.start()
+
+        # SIGKILL the serve process once a few shards are journalled.
+        deadline = time.time() + 120.0
+        while time.time() < deadline:
+            merged = (service_stats(address)["journal"] or {}).get("results", 0)
+            if merged >= 3:
+                break
+            time.sleep(0.05)
+        assert 0 < merged < len(grid["snr_db"]), (
+            f"needed a mid-sweep kill, journal had {merged} results"
+        )
+        serve.send_signal(signal.SIGKILL)
+        assert serve.wait(timeout=10) == -signal.SIGKILL
+        print(f"SIGKILLed coordinator mid-sweep ({merged} results journalled)")
+
+        # Freeze the workers so the restarted service is observably
+        # degraded before anyone re-registers.
+        for proc in workers:
+            proc.send_signal(signal.SIGSTOP)
+        serve2 = subprocess.Popen(serve_cmd, env=env)
+        deadline = time.time() + 60.0
+        health = None
+        while time.time() < deadline:
+            try:
+                _status, health = _get(f"http://127.0.0.1:{http_port}/healthz")
+                break
+            except (urllib.error.URLError, OSError):
+                time.sleep(0.1)
+        assert health is not None, "restarted front-end never answered"
+        assert health["status"] == "degraded", health
+        assert health["jobs_unfinished"] >= 1, health
+        assert health["epoch"] > epoch_before, health
+        print(
+            f"restart replayed the journal: healthz degraded, "
+            f"epoch {epoch_before} -> {health['epoch']}"
+        )
+
+        for proc in workers:
+            proc.send_signal(signal.SIGCONT)
+        deadline = time.time() + 120.0
+        while time.time() < deadline:
+            _status, health = _get(f"http://127.0.0.1:{http_port}/healthz")
+            if health["status"] == "ok" and health["workers_alive"] == 2:
+                break
+            time.sleep(0.2)
+        assert health["status"] == "ok", health
+        print("workers re-registered on their own: healthz back to ok")
+
+        runner.join(timeout=120.0)
+        assert not runner.is_alive(), "client sweep never finished after restart"
+        remote_values = [
+            (r.value.estimate, r.value.samples) for r in box["results"]
+        ]
+        serial_values = [(r.value.estimate, r.value.samples) for r in serial]
+        assert all(r.ok for r in box["results"])
+        assert remote_values == serial_values, "post-crash sweep NOT bit-identical"
+        assert len(store) == len(grid["snr_db"]), (
+            f"expected one banked row per point, store has {len(store)}"
+        )
+        store.close()
+        print(
+            f"sweep rode out the coordinator crash: bit-identical across "
+            f"{len(grid['snr_db'])} points, {len(grid['snr_db'])} rows banked"
+        )
+    finally:
+        for proc in workers:
+            proc.send_signal(signal.SIGCONT)  # harmless if running
+            proc.send_signal(signal.SIGTERM)
+        for proc in workers:
+            try:
+                proc.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+        for proc in (serve, serve2):
+            if proc is not None and proc.poll() is None:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+    print("coordinator crash phase OK: no orphans")
 
 
 def main() -> int:
@@ -208,6 +357,8 @@ def main() -> int:
     server.stop()
     store.close()
     print("clean shutdown, no orphaned workers")
+
+    _coordinator_crash_phase(env)
     print("SERVICE SMOKE OK")
     return 0
 

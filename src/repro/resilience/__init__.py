@@ -29,8 +29,13 @@ This module imports only the standard library at import time, so the
 engine can depend on it without cycles.
 """
 
-from .inject import Fault, FaultInjector, InjectedFault
-from .policies import DeadlineExceeded, DeadlinePolicy, RetryPolicy
+from .inject import Fault, FaultInjector, InjectedFault, WireFault
+from .policies import (
+    CircuitBreaker,
+    DeadlineExceeded,
+    DeadlinePolicy,
+    RetryPolicy,
+)
 from .report import SweepReport
 from .validate import (
     ValidationWarning,
@@ -50,7 +55,9 @@ __all__ = [
     "validate_monotone",
     "formula_kind",
     "numeric_value",
+    "CircuitBreaker",
     "Fault",
     "FaultInjector",
     "InjectedFault",
+    "WireFault",
 ]

@@ -16,6 +16,15 @@ times.  Everything is deterministic:
 
 The injector and its wrapped functions are picklable, so chaos tests
 drive the real ``executor="process"`` path, not a simulation of it.
+
+The networked fabric adds a second fault surface — the wire — so the
+injector also speaks :class:`WireFault`: corrupt a frame's payload
+bytes, truncate it, disconnect mid-frame, or delay it, each under the
+same cross-process ``times`` scoreboard.  :meth:`FaultInjector
+.send_through` perturbs an otherwise-valid frame built by
+:func:`repro.service.wire.frame`, which is how the chaos tests prove
+the hardened receive side turns every perturbation into a typed,
+retryable error instead of a hang or a garbage parse.
 """
 
 from __future__ import annotations
@@ -27,9 +36,10 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, Mapping, Optional, Tuple
 
-__all__ = ["Fault", "FaultInjector", "InjectedFault"]
+__all__ = ["Fault", "FaultInjector", "InjectedFault", "WireFault"]
 
 _KINDS = ("raise", "hang", "kill", "corrupt")
+_WIRE_KINDS = ("corrupt", "truncate", "disconnect", "delay")
 
 
 class InjectedFault(RuntimeError):
@@ -71,6 +81,50 @@ class Fault:
             )
         if self.times is not None and self.times < 1:
             raise ValueError(f"times must be >= 1 or None, got {self.times}")
+
+
+@dataclass(frozen=True)
+class WireFault:
+    """One wire-level fault specification.
+
+    Parameters
+    ----------
+    kind:
+        ``"corrupt"`` (flip one payload byte — the CRC32 check's
+        prey), ``"truncate"`` (send only the first half of the frame
+        and close — the mid-frame-EOF path), ``"disconnect"`` (close
+        the socket before sending anything — a connection reset), or
+        ``"delay"`` (sleep ``delay_seconds`` before sending the intact
+        frame — injected latency for timeout paths).
+    times:
+        Inject on the first ``times`` sends only, then pass frames
+        through untouched (``None`` = always).  Counted on the same
+        cross-process ``O_EXCL`` scoreboard as compute faults, keyed
+        by the fault's ``key``.
+    key:
+        Scoreboard identity; two wire faults with the same key share
+        an attempt counter.
+    delay_seconds:
+        Latency for ``kind="delay"``.
+    """
+
+    kind: str = "corrupt"
+    times: Optional[int] = None
+    key: str = "wire"
+    delay_seconds: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in _WIRE_KINDS:
+            raise ValueError(
+                f"unknown wire fault kind {self.kind!r};"
+                f" choose from {', '.join(_WIRE_KINDS)}"
+            )
+        if self.times is not None and self.times < 1:
+            raise ValueError(f"times must be >= 1 or None, got {self.times}")
+        if self.delay_seconds < 0:
+            raise ValueError(
+                f"delay_seconds must be >= 0, got {self.delay_seconds}"
+            )
 
 
 def _canonical(point: Any) -> str:
@@ -210,6 +264,55 @@ class FaultInjector:
         if fault.kind == "kill":
             os._exit(13)
         return (fault.corrupt_value,)
+
+    def send_through(
+        self,
+        sock: Any,
+        message: Dict[str, Any],
+        fault: WireFault,
+    ) -> bool:
+        """Send ``message`` over ``sock``, perturbed per ``fault``.
+
+        The faulty twin of :func:`repro.service.wire.send_message`:
+        builds the *valid* frame first, then applies the planned
+        perturbation — flip a deterministic payload byte
+        (``corrupt``), send half the frame and close (``truncate``),
+        close without sending (``disconnect``), or sleep then send
+        intact (``delay``).  The fault's ``times`` budget is claimed
+        on the shared scoreboard, so "corrupt the first two sends,
+        then behave" works across processes.  Returns ``True`` when
+        the frame was perturbed, ``False`` when it passed through
+        intact.  ``truncate`` and ``disconnect`` close ``sock``.
+        """
+        from ..service.wire import _HEADER, frame
+
+        data = frame(message)
+        attempt = self._claim_attempt(f"wire:{fault.key}")
+        if fault.times is not None and attempt > fault.times:
+            sock.sendall(data)
+            return False
+        if fault.kind == "corrupt":
+            payload_len = len(data) - _HEADER.size
+            digest = hashlib.sha256(
+                f"{fault.key}:{attempt}".encode("utf-8")
+            ).digest()
+            offset = _HEADER.size + int.from_bytes(digest[:8], "big") % max(
+                payload_len, 1
+            )
+            corrupted = bytearray(data)
+            corrupted[offset] ^= 0xFF
+            sock.sendall(bytes(corrupted))
+            return True
+        if fault.kind == "truncate":
+            sock.sendall(data[: max(_HEADER.size, len(data) // 2)])
+            sock.close()
+            return True
+        if fault.kind == "disconnect":
+            sock.close()
+            return True
+        time.sleep(fault.delay_seconds)  # kind == "delay"
+        sock.sendall(data)
+        return True
 
     def with_fault(self, point: Any, fault: Fault) -> "FaultInjector":
         """Copy of this injector with one more planned fault."""

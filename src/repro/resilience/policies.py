@@ -24,18 +24,28 @@ lost grid.  The two policies here are the knobs the fabric accepts:
 Both are frozen dataclasses with ``coerce`` constructors so call
 sites can pass bare numbers (``retry=3``, ``deadline=0.5``), and both
 are picklable, so the process executor can ship them into workers.
+
+:class:`CircuitBreaker`
+    The third policy, added for the service front-end: a thread-safe
+    closed/open/half-open breaker that stops hammering a dependency
+    (the coordinator) once it has failed ``failure_threshold`` times
+    in a row, letting exactly one probe through after ``cooldown``
+    seconds.  The clock is injectable so tests never sleep.
 """
 
 from __future__ import annotations
 
 import hashlib
+import threading
+import time as _time
 from dataclasses import dataclass
-from typing import Optional, Tuple, Type, Union
+from typing import Callable, Dict, Optional, Tuple, Type, Union
 
 __all__ = [
     "DeadlineExceeded",
     "RetryPolicy",
     "DeadlinePolicy",
+    "CircuitBreaker",
 ]
 
 
@@ -180,3 +190,129 @@ class DeadlinePolicy:
             f"deadline must be a DeadlinePolicy, a number of seconds,"
             f" or None, got {type(value).__name__}"
         )
+
+
+class CircuitBreaker:
+    """A thread-safe closed / open / half-open circuit breaker.
+
+    The front-end wraps every coordinator round trip in one of these:
+    after ``failure_threshold`` *consecutive* failures the breaker
+    opens and :meth:`allow` answers ``False`` — callers degrade (serve
+    warm cache hits, answer 503 with ``Retry-After``) instead of
+    stacking connection timeouts on a dead dependency.  Once
+    ``cooldown`` seconds pass, the next :meth:`allow` claims the
+    single half-open probe slot; its success closes the breaker, its
+    failure re-opens it for another full cooldown.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that trip the breaker open.
+    cooldown:
+        Seconds the breaker stays open before admitting one probe.
+    clock:
+        Monotonic time source (injectable so tests never sleep).
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 5,
+        cooldown: float = 5.0,
+        clock: Callable[[], float] = _time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown}")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0  # consecutive failures while closed
+        self._opened_at: Optional[float] = None
+        self._trips = 0  # lifetime count of closed -> open transitions
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing open -> half-open when due."""
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if (
+            self._state == self.OPEN
+            and self._opened_at is not None
+            and self._clock() - self._opened_at >= self.cooldown
+        ):
+            self._state = self.HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """May a call proceed right now?
+
+        ``True`` while closed.  While open, ``False`` until the
+        cooldown elapses — then exactly one caller wins the half-open
+        probe slot (subsequent callers are refused until the probe
+        reports back via :meth:`record_success` /
+        :meth:`record_failure`).
+        """
+        with self._lock:
+            state = self._state_locked()
+            if state == self.CLOSED:
+                return True
+            if state == self.HALF_OPEN and self._opened_at is not None:
+                self._opened_at = None  # claim the single probe slot
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """A wrapped call succeeded: close the breaker, reset counts."""
+        with self._lock:
+            self._state = self.CLOSED
+            self._failures = 0
+            self._opened_at = None
+
+    def record_failure(self) -> None:
+        """A wrapped call failed: count it; trip open at the threshold.
+
+        A half-open probe failure re-opens immediately for another
+        full cooldown.
+        """
+        with self._lock:
+            state = self._state_locked()
+            if state == self.HALF_OPEN:
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                self._trips += 1
+                return
+            if state == self.OPEN:
+                return  # already open and cooling down
+            self._failures += 1
+            if self._failures >= self.failure_threshold:
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                self._trips += 1
+
+    def snapshot(self) -> Dict[str, Union[str, int, float, None]]:
+        """State for ``/healthz``: state, failure count, trip count."""
+        with self._lock:
+            state = self._state_locked()
+            remaining: Optional[float] = None
+            if state == self.OPEN and self._opened_at is not None:
+                remaining = max(
+                    0.0, self.cooldown - (self._clock() - self._opened_at)
+                )
+            return {
+                "state": state,
+                "failures": self._failures,
+                "trips": self._trips,
+                "cooldown_remaining": remaining,
+            }

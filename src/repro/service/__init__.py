@@ -15,32 +15,59 @@ The distributed half of the guarantee pipeline, stdlib networking only
   behind ``executor="remote"`` in :func:`repro.engine.sweep`;
 * :mod:`repro.service.frontend` — ``repro-zoo serve``: ``/guarantee``
   answered straight from the :class:`~repro.store.ResultStore` on a
-  hit, enqueued on the fleet on a miss.
+  hit, enqueued on the fleet on a miss;
+* :mod:`repro.service.journal` — the sqlite WAL job journal that lets
+  a SIGKILLed coordinator replay its open jobs on restart.
 
 The merged output of a remote sweep is bit-identical to the serial
 path: per-point seed streams are spawned by grid index before
-anything ships, and results merge first-write-wins by that index.
+anything ships, and results merge first-write-wins by that index —
+which is also what makes journal replay and lease re-runs idempotent.
 """
 
-from .client import kill_worker, remote_sweep, service_stats
+from .client import (
+    DEFAULT_CLIENT_RETRY,
+    call_with_retry,
+    kill_worker,
+    remote_sweep,
+    service_stats,
+)
 from .coordinator import Coordinator, CoordinatorServer, free_port
 from .frontend import Frontend, FrontendServer
-from .wire import PROTOCOL_VERSION, WireError, parse_address, request
+from .journal import JobJournal, JournalError
+from .wire import (
+    PROTOCOL_VERSION,
+    FrameCorrupted,
+    FrameTooLarge,
+    RemoteError,
+    ServiceUnavailable,
+    WireError,
+    parse_address,
+    request,
+)
 from .worker import Worker, run_worker
 
 __all__ = [
     "PROTOCOL_VERSION",
     "WireError",
+    "FrameTooLarge",
+    "FrameCorrupted",
+    "RemoteError",
+    "ServiceUnavailable",
     "parse_address",
     "request",
     "Coordinator",
     "CoordinatorServer",
     "free_port",
+    "JobJournal",
+    "JournalError",
     "Worker",
     "run_worker",
     "remote_sweep",
     "service_stats",
     "kill_worker",
+    "call_with_retry",
+    "DEFAULT_CLIENT_RETRY",
     "Frontend",
     "FrontendServer",
 ]

@@ -15,6 +15,17 @@ current shard and go idle; nothing is orphaned) and raises
 :class:`~repro.engine.SweepInterrupted` carrying every already-merged
 result, so :func:`repro.engine.sweep_check` can bank the partials
 before the interrupt propagates.
+
+Every coordinator round trip goes through a
+:class:`~repro.resilience.RetryPolicy`-driven retry loop
+(:data:`DEFAULT_CLIENT_RETRY`): transient transport failures — a
+refused connection while the coordinator restarts, a corrupt frame, a
+reset — back off and retry, and only an exhausted budget surfaces as
+the typed :class:`~repro.service.wire.ServiceUnavailable`.  An
+application-level :class:`~repro.service.wire.RemoteError` (unknown
+job, salt mismatch) is *never* retried.  The budget is sized to ride
+through a coordinator crash + journal replay, so an in-flight
+``executor="remote"`` sweep keeps polling straight across the restart.
 """
 
 from __future__ import annotations
@@ -24,9 +35,67 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from ..engine.sweep import SweepInterrupted, SweepResult
 from ..resilience.policies import DeadlinePolicy, RetryPolicy
-from .wire import decode_result, encode, request
+from .wire import (
+    RemoteError,
+    ServiceUnavailable,
+    WireError,
+    decode_result,
+    encode,
+    request,
+)
 
-__all__ = ["remote_sweep", "service_stats", "kill_worker"]
+__all__ = [
+    "remote_sweep",
+    "service_stats",
+    "kill_worker",
+    "call_with_retry",
+    "DEFAULT_CLIENT_RETRY",
+]
+
+#: Retry budget for one coordinator round trip: ~18 s of jittered
+#: exponential backoff, comfortably spanning a coordinator SIGKILL +
+#: restart + journal replay.
+DEFAULT_CLIENT_RETRY = RetryPolicy(
+    max_attempts=10, backoff=0.1, backoff_factor=2.0, max_backoff=3.0,
+    jitter=0.25,
+)
+
+
+def call_with_retry(
+    connect: str,
+    message: Dict[str, Any],
+    *,
+    retry: "RetryPolicy | int | None" = DEFAULT_CLIENT_RETRY,
+    timeout: Optional[float] = 30.0,
+) -> Dict[str, Any]:
+    """One coordinator round trip under a retry budget.
+
+    Transport failures (``ConnectionRefusedError``, resets, timeouts,
+    corrupt frames) are retried with deterministic jittered backoff;
+    :class:`RemoteError` propagates immediately (the coordinator *did*
+    answer — retrying an application rejection cannot help).  When the
+    budget is spent, the chain of failures collapses into one typed
+    :class:`ServiceUnavailable`.
+    """
+    policy = RetryPolicy.coerce(retry)
+    if policy is None:
+        return request(connect, message, timeout=timeout)
+    key = str(message.get("type", "request"))
+    last: Optional[BaseException] = None
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            return request(connect, message, timeout=timeout)
+        except RemoteError:
+            raise
+        except (WireError, OSError) as exc:
+            last = exc
+            if attempt >= policy.max_attempts:
+                break
+            time.sleep(policy.delay(key, attempt))
+    raise ServiceUnavailable(
+        f"coordinator at {connect} unreachable after"
+        f" {policy.max_attempts} attempts ({key!r}): {last}"
+    ) from last
 
 
 def _merge(
@@ -59,6 +128,7 @@ def remote_sweep(
     poll: float = 0.05,
     timeout: Optional[float] = None,
     meta: Optional[Dict[str, Any]] = None,
+    connect_retry: "RetryPolicy | int | None" = DEFAULT_CLIENT_RETRY,
 ) -> List[SweepResult]:
     """Run one sweep on a worker fleet; blocks until merged.
 
@@ -66,7 +136,10 @@ def remote_sweep(
     process executor's contract); ``deadline`` becomes the per-point
     lease budget that catches hung-but-heartbeating workers.
     ``timeout`` bounds the whole sweep — on expiry the job is cancelled
-    and a ``TimeoutError`` raised.
+    and a ``TimeoutError`` raised.  ``connect_retry`` is the *transport*
+    budget for each coordinator round trip: polls ride through a
+    coordinator restart, and only an exhausted budget raises
+    :class:`ServiceUnavailable`.
     """
     points = list(points)
     if not points:
@@ -77,7 +150,7 @@ def remote_sweep(
         if deadline is not None
         else None
     )
-    submitted = request(
+    submitted = call_with_retry(
         connect,
         {
             "type": "submit",
@@ -88,17 +161,24 @@ def remote_sweep(
             "point_budget": point_budget,
             "meta": meta or {},
         },
+        retry=connect_retry,
     )
     job = submitted["job"]
     started = time.monotonic()
     snapshot: Dict[str, Any] = {}
     try:
         while True:
-            snapshot = request(connect, {"type": "collect", "job": job})
+            snapshot = call_with_retry(
+                connect, {"type": "collect", "job": job}, retry=connect_retry
+            )
             if snapshot.get("done"):
                 break
             if timeout is not None and time.monotonic() - started > timeout:
-                request(connect, {"type": "cancel", "job": job})
+                call_with_retry(
+                    connect,
+                    {"type": "cancel", "job": job},
+                    retry=connect_retry,
+                )
                 raise TimeoutError(
                     f"remote sweep {job} incomplete after {timeout:.6g}s"
                     f" ({snapshot.get('completed', 0)}/{len(points)} points)"
@@ -117,9 +197,13 @@ def remote_sweep(
     return [merged[index] for index in range(len(points))]
 
 
-def service_stats(connect: str) -> Dict[str, Any]:
+def service_stats(
+    connect: str,
+    *,
+    retry: "RetryPolicy | int | None" = DEFAULT_CLIENT_RETRY,
+) -> Dict[str, Any]:
     """The coordinator's worker/job stats (the ``/stats`` core)."""
-    return request(connect, {"type": "stats"})
+    return call_with_retry(connect, {"type": "stats"}, retry=retry)
 
 
 def kill_worker(connect: str, worker: Optional[str] = None) -> str:
@@ -127,7 +211,8 @@ def kill_worker(connect: str, worker: Optional[str] = None) -> str:
 
     The over-the-wire chaos primitive used by
     :meth:`repro.resilience.FaultInjector.kill_remote`; returns the
-    condemned worker's id.
+    condemned worker's id.  Deliberately *not* retried: chaos tooling
+    should see the coordinator's true availability.
     """
     reply = request(
         connect, {"type": "kill", "worker": worker or "any"}

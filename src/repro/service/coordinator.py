@@ -31,17 +31,33 @@ opaque envelopes between client and workers.  All state lives behind
 one lock; requests are short (dict bookkeeping), so a plain
 :class:`socketserver.ThreadingTCPServer` front door is plenty even
 with dozens of workers polling.
+
+Durability — the coordinator itself may die.  Given a
+:class:`~repro.service.journal.JobJournal`, every submitted job,
+merged result and quarantine record is persisted as it happens; a
+restarted coordinator *replays* the journal, re-queues only the
+missing grid ranges, and resumes merging — bit-identical to an
+uninterrupted run, because point values are deterministic in their
+grid index and both the in-memory merge and the journal are
+first-write-wins.  Each boot is stamped with a monotone **epoch**
+(journal-backed when available): workers carry their registration
+epoch on every message, and anything from a pre-restart epoch is
+answered with a ``reregister`` directive instead of being merged — a
+worker that slept through a restart can never write stale results
+into the new incarnation under a recycled worker id.
 """
 
 from __future__ import annotations
 
+import os
 import socket
 import socketserver
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
+from .journal import JobJournal
 from .wire import (
     PROTOCOL_VERSION,
     WireError,
@@ -109,6 +125,7 @@ class Job:
     points: List[Dict[str, Any]]  # encoded, sliced into leases
     created: float
     point_budget: Optional[float]  # seconds per point (deadline x attempts)
+    shard_size: Optional[int] = None  # as submitted (journal replay re-shards with it)
     meta: Dict[str, Any] = field(default_factory=dict)
     pending: List[Tuple[int, int]] = field(default_factory=list)
     leases: Dict[str, _Lease] = field(default_factory=dict)
@@ -161,6 +178,16 @@ class Coordinator:
     quarantine_strikes:
         Expiries of a *single-point* lease before the point is
         quarantined instead of requeued (the bisection endpoint).
+    journal:
+        Optional :class:`~repro.service.journal.JobJournal` (or a path
+        to create one at).  With a journal, jobs/results/quarantines
+        persist as they happen, the boot epoch is journal-backed, and
+        open jobs are replayed on construction — the coordinator
+        survives its own SIGKILL.
+    epoch:
+        Explicit boot epoch (tests).  Defaults to the journal's
+        bumped epoch, or wall-clock seconds without one — monotone
+        across realistic restarts either way.
     """
 
     def __init__(
@@ -171,6 +198,8 @@ class Coordinator:
         liveness: Optional[float] = None,
         lease_grace: float = 5.0,
         quarantine_strikes: int = 2,
+        journal: Optional[Union[JobJournal, "os.PathLike[str]", str]] = None,
+        epoch: Optional[int] = None,
     ) -> None:
         self.salt = salt if salt is not None else _service_salt()
         self.heartbeat = heartbeat
@@ -183,6 +212,59 @@ class Coordinator:
         self._lock = threading.Lock()
         self._counter = 0
         self._shutting_down = False
+        if journal is not None and not isinstance(journal, JobJournal):
+            journal = JobJournal(journal)
+        self.journal = journal
+        if epoch is not None:
+            self.epoch = int(epoch)
+        elif journal is not None:
+            self.epoch = journal.bump_epoch()
+        else:
+            self.epoch = int(time.time())
+        if journal is not None:
+            self._replay(journal)
+
+    def _replay(self, journal: JobJournal) -> None:
+        """Rebuild open jobs from the journal: merged results kept,
+        missing grid ranges re-queued as fresh shard leases."""
+        for record in journal.replay():
+            job = Job(
+                id=record.id,
+                fn=record.fn,
+                retry=record.retry,
+                points=record.points,
+                created=record.created,
+                point_budget=record.point_budget,
+                shard_size=record.shard_size,
+                meta=dict(record.meta, replayed_epoch=self.epoch),
+                results=dict(record.results),
+                quarantined=dict(record.quarantined),
+            )
+            job.pending = self._reshard(record.missing_ranges(), job)
+            self.jobs[job.id] = job
+            if job.done:  # crashed between the last merge and record_done
+                journal.record_done(job.id)
+            # Keep fresh ids clear of replayed ones ("job-7" and later
+            # "w3"/"lease-9" share one counter).
+            suffix = job.id.rsplit("-", 1)[-1]
+            if suffix.isdigit():
+                self._counter = max(self._counter, int(suffix))
+
+    def _reshard(
+        self, ranges: List[Tuple[int, int]], job: Job
+    ) -> List[Tuple[int, int]]:
+        """Chop replayed missing runs back into lease-sized shards
+        (the submitted ``shard_size`` when given, else ~quarters), so
+        one long untouched run does not become one giant lease."""
+        size = job.shard_size
+        if size is None or size < 1:
+            size = max(1, -(-len(job.points) // 4))
+        shards: List[Tuple[int, int]] = []
+        for start, stop in ranges:
+            shards.extend(
+                (lo, min(lo + size, stop)) for lo in range(start, stop, size)
+            )
+        return shards
 
     # -- id / shard helpers ------------------------------------------------
 
@@ -223,8 +305,15 @@ class Coordinator:
         meta: Optional[Dict[str, Any]] = None,
         on_done: Optional[Callable[[Job], None]] = None,
     ) -> str:
-        """Enqueue one sweep job; returns its id."""
+        """Enqueue one sweep job; returns its id.
+
+        With a journal the job is persisted *before* the id is handed
+        out — a client holding a job id can always :meth:`collect` it,
+        even across a coordinator crash and restart.
+        """
         with self._lock:
+            if self._shutting_down:
+                raise WireError("coordinator is shutting down")
             job = Job(
                 id=self._next_id("job-"),
                 fn=fn,
@@ -232,11 +321,23 @@ class Coordinator:
                 points=list(points),
                 created=time.time(),
                 point_budget=point_budget,
+                shard_size=shard_size,
                 meta=dict(meta or {}),
                 on_done=on_done,
             )
             job.pending = self._shards(len(points), shard_size)
             self.jobs[job.id] = job
+            if self.journal is not None:
+                self.journal.record_submit(
+                    job.id,
+                    fn=job.fn,
+                    retry=job.retry,
+                    points=job.points,
+                    created=job.created,
+                    point_budget=job.point_budget,
+                    shard_size=job.shard_size,
+                    meta=job.meta,
+                )
             return job.id
 
     def collect(self, job_id: str) -> Dict[str, Any]:
@@ -268,6 +369,8 @@ class Coordinator:
             job.cancelled = True
             job.pending = []
             job.leases = {}
+            if self.journal is not None:
+                self.journal.record_cancelled(job_id)
         return self.collect(job_id)
 
     # -- fault recovery ----------------------------------------------------
@@ -316,6 +419,10 @@ class Coordinator:
                     "error": reason,
                     "attempts": job.strikes[start],
                 }
+                if self.journal is not None:
+                    self.journal.record_quarantine(
+                        job.id, start, job.quarantined[start]
+                    )
                 self._maybe_finish(job)
             else:  # one more chance on a (hopefully) healthier worker
                 job.pending.insert(0, (start, stop))
@@ -326,7 +433,11 @@ class Coordinator:
     def _maybe_finish(self, job: Job) -> None:
         # Called with the lock held; the callback runs without it so a
         # store-banking frontend callback cannot deadlock the server.
-        if job.done and job.on_done is not None:
+        if not job.done:
+            return
+        if self.journal is not None:
+            self.journal.record_done(job.id)
+        if job.on_done is not None:
             callback, job.on_done = job.on_done, None
             threading.Thread(
                 target=callback, args=(job,), daemon=True,
@@ -391,6 +502,7 @@ class Coordinator:
             "heartbeat": self.heartbeat,
             "salt": self.salt,
             "protocol": PROTOCOL_VERSION,
+            "epoch": self.epoch,
         }
 
     def _touch(self, worker_id: str) -> Optional[WorkerInfo]:
@@ -399,11 +511,36 @@ class Coordinator:
             worker.last_seen = time.time()
         return worker
 
+    def _fence(self, message: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        """Reject messages from a pre-restart epoch.
+
+        Worker ids are per-boot counters, so after a restart an old
+        worker's id may *collide* with a fresh registration's — the
+        epoch stamp is what tells a recycled id from a live one.  A
+        stale peer is told to re-register (its reconnect loop handles
+        that); its message is never merged or trusted.
+        """
+        stamped = message.get("epoch")
+        if stamped is not None and int(stamped) == self.epoch:
+            return None
+        return {
+            "type": "reregister",
+            "reason": (
+                f"stale epoch {stamped!r} (coordinator is at {self.epoch})"
+                " — results from a previous incarnation are fenced off"
+            ),
+            "epoch": self.epoch,
+        }
+
     def _directive(self, worker: Optional[WorkerInfo]) -> Optional[Dict[str, Any]]:
-        """A pending die order for this worker, if any."""
+        """A pending order for this worker, if any."""
         if worker is None:
             # Unknown id (e.g. coordinator restarted): re-register.
-            return {"type": "die", "reason": "unknown worker — re-register"}
+            return {
+                "type": "reregister",
+                "reason": "unknown worker — re-register",
+                "epoch": self.epoch,
+            }
         if worker.kill_requested or self._shutting_down:
             worker.deregistered = True
             return {"type": "die", "reason": "coordinator ordered shutdown"}
@@ -411,6 +548,9 @@ class Coordinator:
 
     def _on_heartbeat(self, message: Dict[str, Any]) -> Dict[str, Any]:
         with self._lock:
+            fenced = self._fence(message)
+            if fenced is not None:
+                return fenced
             worker = self._touch(str(message.get("worker")))
             return self._directive(worker) or {"type": "ok"}
 
@@ -423,6 +563,9 @@ class Coordinator:
 
     def _on_lease(self, message: Dict[str, Any]) -> Dict[str, Any]:
         with self._lock:
+            fenced = self._fence(message)
+            if fenced is not None:
+                return fenced
             worker = self._touch(str(message.get("worker")))
             directive = self._directive(worker)
             if directive is not None:
@@ -458,6 +601,9 @@ class Coordinator:
 
     def _on_result(self, message: Dict[str, Any]) -> Dict[str, Any]:
         with self._lock:
+            fenced = self._fence(message)
+            if fenced is not None:
+                return fenced  # stale epoch: nothing of this is merged
             worker = self._touch(str(message.get("worker")))
             job = self.jobs.get(str(message.get("job")))
             if job is None:
@@ -465,6 +611,7 @@ class Coordinator:
             job.leases.pop(str(message.get("lease")), None)
             start = int(message["start"])
             results = message.get("results", [])
+            accepted = []
             for offset, encoded in enumerate(results):
                 index = start + offset
                 # First write wins: a reassigned lease may complete
@@ -472,6 +619,9 @@ class Coordinator:
                 # copy is the same answer; quarantined slots stay put.
                 if index not in job.results and index not in job.quarantined:
                     job.results[index] = encoded
+                    accepted.append((index, encoded))
+            if self.journal is not None and accepted:
+                self.journal.record_results(job.id, accepted)
             if worker is not None:
                 worker.shards_done += 1
                 worker.points_done += len(results)
@@ -540,6 +690,10 @@ class Coordinator:
             return {
                 "uptime": round(now - self.started, 3),
                 "salt": self.salt,
+                "epoch": self.epoch,
+                "journal": (
+                    self.journal.stats() if self.journal is not None else None
+                ),
                 "workers": workers,
                 "workers_alive": sum(1 for w in workers if w["alive"]),
                 "jobs": jobs,

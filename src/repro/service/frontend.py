@@ -34,6 +34,16 @@ The computed value of a ``/guarantee`` miss is bit-identical to a
 serial ``zoo.sweep`` of the same single-point grid: the job's seed
 stream is spawned by grid index exactly as ``sweep_check`` spawns it,
 and the sweep function is the same module-level ``_check_point``.
+
+Graceful degradation: every coordinator submit goes through a
+:class:`~repro.resilience.CircuitBreaker`.  When the coordinator is
+down (or shutting down) the breaker opens — warm store hits keep
+answering ``200``, but misses answer ``503`` with a ``Retry-After``
+hint instead of stacking failures on a dead dependency.  A bounded
+in-flight job table (``max_inflight``) sheds excess misses with
+``429``; ``/healthz`` reports the breaker state, the coordinator's
+boot epoch, and its journal, so a probe can watch a restarted
+coordinator go degraded -> ok.
 """
 
 from __future__ import annotations
@@ -51,6 +61,7 @@ import numpy as np
 
 from ..engine.config import SmcConfig
 from ..engine.sweep import CHECK_BACKENDS, _check_point
+from ..resilience.policies import CircuitBreaker
 from .coordinator import Coordinator, Job
 from .wire import decode_result
 
@@ -61,6 +72,7 @@ _STATUS_TEXT = {
     202: "Accepted",
     400: "Bad Request",
     404: "Not Found",
+    429: "Too Many Requests",
     503: "Service Unavailable",
 }
 
@@ -82,6 +94,9 @@ ROUTES = [
             200: "warm store hit, value served without touching the engine",
             202: "miss enqueued as a single-point job; poll /jobs/<id>",
             400: "unknown family/backend, or sprt without theta",
+            429: "in-flight job table full; retry after Retry-After",
+            503: "circuit breaker open (coordinator down); warm hits"
+                 " still answer 200, retry after Retry-After",
         },
         "summary": "Serve one guarantee from the store, or compute it"
                    " on the worker fleet and bank it.",
@@ -99,8 +114,10 @@ ROUTES = [
         "path": "/healthz",
         "query": "none",
         "statuses": {
-            200: "status 'ok' (all workers heartbeating) or 'degraded'"
-                 " (some died), with per-worker verdicts",
+            200: "status 'ok' or 'degraded' (dead workers, open circuit"
+                 " breaker, or unfinished jobs with no live worker), with"
+                 " per-worker verdicts, breaker state, coordinator boot"
+                 " epoch, and journal stats",
         },
         "summary": "Fleet liveness probe.",
     },
@@ -162,6 +179,22 @@ class _BadRequest(ValueError):
     """Routed straight to a 400 response."""
 
 
+class _Degraded(RuntimeError):
+    """Coordinator unavailable (breaker open): 503 + Retry-After."""
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class _Overloaded(RuntimeError):
+    """In-flight job table full: 429 + Retry-After."""
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class Frontend:
     """Route handling, separated from the socket plumbing for tests.
 
@@ -172,16 +205,34 @@ class Frontend:
     store:
         Optional :class:`~repro.store.ResultStore`; without one every
         ``/guarantee`` is a miss and nothing is banked.
+    breaker:
+        The :class:`~repro.resilience.CircuitBreaker` around
+        coordinator submits; open means misses answer ``503`` (warm
+        hits still serve) until the cooldown's half-open probe
+        succeeds.
+    max_inflight:
+        Bound on distinct in-flight ``/guarantee`` jobs; excess misses
+        are shed with ``429`` instead of flooding the fleet.
     """
 
     def __init__(
-        self, coordinator: Coordinator, store: Any = None
+        self,
+        coordinator: Coordinator,
+        store: Any = None,
+        *,
+        breaker: Optional[CircuitBreaker] = None,
+        max_inflight: int = 64,
     ) -> None:
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
         self.coordinator = coordinator
         self.store = store
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.max_inflight = max_inflight
         self.started = time.time()
         self.hits = 0
         self.misses = 0
+        self.shed = 0  # misses answered 429/503 instead of enqueued
         # In-flight /guarantee jobs by store key, so identical queries
         # racing each other share one job instead of one each.
         self._inflight: Dict[str, str] = {}
@@ -265,6 +316,13 @@ class Frontend:
         The job is exactly the single-point grid ``sweep_check`` would
         run: same module-level sweep function, same index-spawned seed
         stream — so the result is bit-identical and cache-compatible.
+
+        Degradation surface: a query already in flight shares its job
+        unconditionally; a *new* job first has to pass the circuit
+        breaker (:class:`_Degraded` -> 503 when open) and the
+        ``max_inflight`` bound (:class:`_Overloaded` -> 429), and a
+        submit failure (coordinator shutting down / gone) records a
+        breaker failure before surfacing as :class:`_Degraded`.
         """
         from ..zoo.sweep import _build_point
         from .wire import encode
@@ -294,20 +352,42 @@ class Frontend:
                 job = self.coordinator.jobs.get(inflight)
                 if job is not None and not job.done and not job.cancelled:
                     return inflight
-            job_id = self.coordinator.submit(
-                encode(run),
-                [encode((0, query["point"]))],
-                meta={
-                    "kind": "guarantee",
-                    "family": query["family"],
-                    "formula": query["formula"],
-                    "backend": query["backend"],
-                },
-                on_done=functools.partial(
-                    self._bank, query=query, scenario_id=scenario_id,
-                    fingerprint=fingerprint, key=key,
-                ),
-            )
+            if not self.breaker.allow():
+                snapshot = self.breaker.snapshot()
+                remaining = snapshot.get("cooldown_remaining")
+                raise _Degraded(
+                    "coordinator unavailable (circuit breaker"
+                    f" {snapshot['state']}); warm hits still serve",
+                    retry_after=float(remaining or self.breaker.cooldown),
+                )
+            if len(self._inflight) >= self.max_inflight:
+                raise _Overloaded(
+                    f"{len(self._inflight)} guarantee jobs already in"
+                    f" flight (max_inflight={self.max_inflight})",
+                    retry_after=1.0,
+                )
+            try:
+                job_id = self.coordinator.submit(
+                    encode(run),
+                    [encode((0, query["point"]))],
+                    meta={
+                        "kind": "guarantee",
+                        "family": query["family"],
+                        "formula": query["formula"],
+                        "backend": query["backend"],
+                    },
+                    on_done=functools.partial(
+                        self._bank, query=query, scenario_id=scenario_id,
+                        fingerprint=fingerprint, key=key,
+                    ),
+                )
+            except Exception as exc:  # noqa: BLE001 - any submit failure
+                self.breaker.record_failure()
+                raise _Degraded(
+                    f"coordinator rejected the job: {exc}",
+                    retry_after=self.breaker.cooldown,
+                ) from exc
+            self.breaker.record_success()
             self._inflight[key] = job_id
             return job_id
 
@@ -351,7 +431,24 @@ class Frontend:
             )
             return 200, body
         self.misses += 1
-        job_id = self._enqueue_guarantee(query, scenario_id, fingerprint)
+        try:
+            job_id = self._enqueue_guarantee(query, scenario_id, fingerprint)
+        except _Degraded as exc:
+            self.shed += 1
+            body.update(
+                cached=False,
+                error=str(exc),
+                retry_after=round(exc.retry_after, 3),
+            )
+            return 503, body
+        except _Overloaded as exc:
+            self.shed += 1
+            body.update(
+                cached=False,
+                error=str(exc),
+                retry_after=round(exc.retry_after, 3),
+            )
+            return 429, body
         body.update(cached=False, job=job_id, poll=f"/jobs/{job_id}")
         return 202, body
 
@@ -466,11 +563,26 @@ class Frontend:
         stats = self.coordinator.stats()
         workers = stats["workers"]
         dead = [w for w in workers if not w["alive"]]
+        breaker = self.breaker.snapshot()
+        jobs = stats["jobs"]
+        unfinished = jobs.get("queued", 0) + jobs.get("running", 0)
+        # Degraded when anything needs attention: a worker stopped
+        # heartbeating, the breaker is not closed (coordinator down or
+        # still probing), or jobs wait with nobody to run them.
+        degraded = bool(
+            dead
+            or breaker["state"] != CircuitBreaker.CLOSED
+            or (unfinished and stats["workers_alive"] == 0)
+        )
         return 200, {
-            "status": "degraded" if dead else "ok",
+            "status": "degraded" if degraded else "ok",
             "workers": len(workers),
             "workers_alive": stats["workers_alive"],
             "dead": dead,
+            "jobs_unfinished": unfinished,
+            "breaker": breaker,
+            "epoch": stats["epoch"],
+            "journal": stats["journal"],
         }
 
     def stats_payload(self) -> Tuple[int, Dict[str, Any]]:
@@ -491,6 +603,8 @@ class Frontend:
             "uptime": round(time.time() - self.started, 3),
             "guarantee_hits": self.hits,
             "guarantee_misses": self.misses,
+            "guarantee_shed": self.shed,
+            "breaker": self.breaker.snapshot(),
             "store": store_stats,
             "coordinator": self.coordinator.stats(),
         }
@@ -582,10 +696,19 @@ class FrontendServer:
             else:
                 body = json.dumps(payload, indent=2, default=repr).encode("utf-8")
                 content_type = "application/json"
+            extra = ""
+            if (
+                status in (429, 503)
+                and isinstance(payload, dict)
+                and payload.get("retry_after") is not None
+            ):
+                seconds = max(1, int(-(-float(payload["retry_after"]) // 1)))
+                extra = f"Retry-After: {seconds}\r\n"
             head = (
                 f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
                 f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(body)}\r\n"
+                f"{extra}"
                 f"Connection: close\r\n\r\n"
             ).encode("latin-1")
             writer.write(head + body)

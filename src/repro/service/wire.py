@@ -3,10 +3,18 @@
 Every conversation in the service fabric — worker registration, shard
 leases, streamed results, chaos directives, the ``executor="remote"``
 client — is one request message answered by one reply message over a
-fresh TCP connection.  Messages are JSON objects framed by a 4-byte
-big-endian length prefix; connection-per-request keeps the protocol
-stateless, so a SIGKILLed worker leaves nothing half-open on the
-coordinator side (its silence is what the lease reaper detects).
+fresh TCP connection.  Messages are JSON objects framed by an 8-byte
+header (4-byte big-endian length + 4-byte CRC32 of the payload);
+connection-per-request keeps the protocol stateless, so a SIGKILLed
+worker leaves nothing half-open on the coordinator side (its silence
+is what the lease reaper detects).
+
+The framing is hardened against a byte-flipping or hostile peer: a
+length prefix above :data:`MAX_FRAME` raises the typed
+:class:`FrameTooLarge` *before* any allocation, and a payload whose
+CRC32 does not match its header raises :class:`FrameCorrupted` — a
+typed, retryable transport error — instead of handing
+``json.loads`` garbage or hanging on a frame that never completes.
 
 Values that cross the wire use *the store's own codec*
 (:func:`repro.store.encode_value`): a check result computed on a
@@ -31,6 +39,7 @@ import json
 import pickle
 import socket
 import struct
+import zlib
 from dataclasses import asdict
 from typing import Any, Dict, Optional, Tuple
 
@@ -41,7 +50,12 @@ from ..store import StoreError, decode_value, encode_value
 __all__ = [
     "PROTOCOL_VERSION",
     "WireError",
+    "FrameTooLarge",
+    "FrameCorrupted",
+    "RemoteError",
+    "ServiceUnavailable",
     "parse_address",
+    "frame",
     "send_message",
     "recv_message",
     "request",
@@ -52,10 +66,12 @@ __all__ = [
 ]
 
 #: Bumped on any framing or message-shape change; checked at worker
-#: registration so mixed-version fleets fail loudly.
-PROTOCOL_VERSION = 1
+#: registration so mixed-version fleets fail loudly.  v2 added the
+#: per-frame CRC32 checksum and epoch-fenced leases.
+PROTOCOL_VERSION = 2
 
-_HEADER = struct.Struct(">I")
+#: 4-byte big-endian payload length + 4-byte CRC32 of the payload.
+_HEADER = struct.Struct(">II")
 
 #: Hard cap on one frame (64 MiB) — a corrupt length prefix must not
 #: convince the receiver to allocate gigabytes.
@@ -64,6 +80,37 @@ MAX_FRAME = 64 * 1024 * 1024
 
 class WireError(ConnectionError):
     """A malformed frame, a closed peer, or a protocol violation."""
+
+
+class FrameTooLarge(WireError):
+    """A frame (or a claimed frame length) exceeds :data:`MAX_FRAME`.
+
+    Raised *before* any allocation on the receive side, so a corrupt
+    or hostile 4-byte prefix cannot trigger a multi-gigabyte buffer.
+    """
+
+
+class FrameCorrupted(WireError):
+    """A frame's payload does not match its CRC32 header.
+
+    A typed, retryable transport error: the connection-per-request
+    protocol means the caller can simply reconnect and resend.
+    """
+
+
+class RemoteError(WireError):
+    """The peer answered ``{"type": "error"}`` — an application-level
+    rejection (unknown job, salt mismatch, ...), *not* a transport
+    fault.  Never retried by the client's :class:`RetryPolicy` loop."""
+
+
+class ServiceUnavailable(ConnectionError):
+    """The coordinator stayed unreachable through a whole retry budget.
+
+    The clean, typed surface of repeated ``ConnectionRefusedError`` /
+    timeout / corrupt-frame failures — what ``executor="remote"``
+    callers and workers see once reconnect attempts are exhausted.
+    """
 
 
 def parse_address(text: "str | Tuple[str, int]") -> Tuple[str, int]:
@@ -80,7 +127,7 @@ def parse_address(text: "str | Tuple[str, int]") -> Tuple[str, int]:
 
 
 # ----------------------------------------------------------------------
-# Framing: 4-byte big-endian length + UTF-8 JSON.
+# Framing: (length, CRC32) header + UTF-8 JSON payload.
 # ----------------------------------------------------------------------
 
 
@@ -96,20 +143,49 @@ def _recv_exact(sock: socket.socket, size: int) -> bytes:
     return b"".join(chunks)
 
 
-def send_message(sock: socket.socket, message: Dict[str, Any]) -> None:
-    """Write one framed JSON message."""
+def frame(message: Dict[str, Any]) -> bytes:
+    """One message as raw frame bytes (header + payload).
+
+    Exposed so the fault injector can perturb a *valid* frame —
+    flipping payload bytes, truncating it — and prove the receive side
+    turns each perturbation into the right typed error.
+    """
     payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
     if len(payload) > MAX_FRAME:
-        raise WireError(f"message of {len(payload)} bytes exceeds MAX_FRAME")
-    sock.sendall(_HEADER.pack(len(payload)) + payload)
+        raise FrameTooLarge(
+            f"message of {len(payload)} bytes exceeds MAX_FRAME"
+            f" ({MAX_FRAME} bytes)"
+        )
+    checksum = zlib.crc32(payload) & 0xFFFFFFFF
+    return _HEADER.pack(len(payload), checksum) + payload
+
+
+def send_message(sock: socket.socket, message: Dict[str, Any]) -> None:
+    """Write one framed, checksummed JSON message."""
+    sock.sendall(frame(message))
 
 
 def recv_message(sock: socket.socket) -> Dict[str, Any]:
-    """Read one framed JSON message (raises :class:`WireError` on EOF)."""
-    (size,) = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    """Read one framed JSON message (raises :class:`WireError` on EOF).
+
+    The length cap is checked before any allocation
+    (:class:`FrameTooLarge`) and the payload is verified against its
+    CRC32 (:class:`FrameCorrupted`), so a byte-flipped or hostile
+    frame surfaces as a typed, retryable error — never a giant
+    allocation, a JSON parse error, or a hang.
+    """
+    size, checksum = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
     if size > MAX_FRAME:
-        raise WireError(f"frame of {size} bytes exceeds MAX_FRAME")
-    return json.loads(_recv_exact(sock, size).decode("utf-8"))
+        raise FrameTooLarge(
+            f"frame of {size} bytes exceeds MAX_FRAME ({MAX_FRAME} bytes)"
+        )
+    payload = _recv_exact(sock, size)
+    if zlib.crc32(payload) & 0xFFFFFFFF != checksum:
+        raise FrameCorrupted(
+            f"frame of {size} bytes failed its CRC32 check"
+            " (corrupted in transit)"
+        )
+    return json.loads(payload.decode("utf-8"))
 
 
 def request(
@@ -120,15 +196,19 @@ def request(
 ) -> Dict[str, Any]:
     """One round trip: connect, send ``message``, return the reply.
 
-    Replies of ``{"type": "error"}`` are raised as :class:`WireError` —
-    the coordinator's way of rejecting a malformed or stale request.
+    Replies of ``{"type": "error"}`` are raised as :class:`RemoteError`
+    — the coordinator's way of rejecting a malformed or stale request.
+    Transport failures (refused, reset, corrupt frame) raise their own
+    :class:`WireError` / ``OSError`` types, which *are* retryable.
     """
     host, port = parse_address(address)
     with socket.create_connection((host, port), timeout=timeout) as sock:
         send_message(sock, message)
         reply = recv_message(sock)
     if reply.get("type") == "error":
-        raise WireError(reply.get("error", "coordinator rejected the request"))
+        raise RemoteError(
+            reply.get("error", "coordinator rejected the request")
+        )
     return reply
 
 

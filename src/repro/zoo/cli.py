@@ -16,7 +16,8 @@ Subcommands::
     repro-zoo history show mimo-1xN --store results.sqlite
     repro-zoo history diff SALT_A SALT_B --store results.sqlite
     repro-zoo serve --port 8080 --store results.sqlite --workers 2
-    repro-zoo worker --connect HOST:9100
+    repro-zoo serve --port 8080 --journal journal.sqlite --store results.sqlite
+    repro-zoo worker --connect HOST:9100 --reconnect-attempts 20
     repro-zoo sweep mimo-1xN -g snr_db=4,6,8 --executor remote --connect HOST:9100
 
 ``-p/--param`` sets one scenario parameter (``key=value``, value parsed
@@ -48,12 +49,23 @@ coordinator from any host; ``--executor remote --connect HOST:PORT``
 runs a sweep on that fleet instead of local pools.  A Ctrl-C during
 any sweep shuts the executor down cleanly (no orphaned workers), banks
 finished points to ``--store``, and exits 130 with a resume hint.
+
+``serve --journal PATH`` makes the coordinator durable: jobs and
+merged results persist to a sqlite journal, and a restarted ``serve``
+pointed at the same journal replays open jobs and resumes in-flight
+sweeps.  Workers ride through the restart (``--reconnect-attempts``
+bounds their backoff loop), and the front-end degrades instead of
+failing while the coordinator is down: warm ``--store`` hits keep
+serving, misses get 503 + ``Retry-After`` once the circuit breaker
+(``--breaker-threshold`` / ``--breaker-cooldown``) opens, and the
+``--max-inflight`` bound sheds excess misses with 429.
 """
 
 from __future__ import annotations
 
 import argparse
 import ast
+import dataclasses
 import os
 import sys
 from typing import Any, Dict, Iterable, List, Optional
@@ -330,13 +342,20 @@ def _cmd_history(args: argparse.Namespace) -> int:
 
 def _cmd_worker(args: argparse.Namespace) -> int:
     from ..service import run_worker
+    from ..service.worker import DEFAULT_RECONNECT
 
+    reconnect = None
+    if args.reconnect_attempts > 0:
+        reconnect = dataclasses.replace(
+            DEFAULT_RECONNECT, max_attempts=args.reconnect_attempts
+        )
     print(f"worker joining coordinator at {args.connect}", flush=True)
     return run_worker(
         args.connect,
         name=args.name,
         poll=args.poll,
         max_shards=args.max_shards,
+        reconnect=reconnect,
     )
 
 
@@ -362,16 +381,26 @@ def _spawn_local_workers(address: str, count: int) -> List[Any]:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import time
 
+    from ..resilience import CircuitBreaker
     from ..service import CoordinatorServer, Frontend, FrontendServer
 
     store = _open_store(args)
     server = CoordinatorServer(
         host=args.host, port=args.coordinator_port,
         heartbeat=args.heartbeat,
+        journal=args.journal,
     ).start()
     workers = _spawn_local_workers(server.address, args.workers)
     front = FrontendServer(
-        Frontend(server.coordinator, store=store),
+        Frontend(
+            server.coordinator,
+            store=store,
+            breaker=CircuitBreaker(
+                failure_threshold=args.breaker_threshold,
+                cooldown=args.breaker_cooldown,
+            ),
+            max_inflight=args.max_inflight,
+        ),
         host=args.host, port=args.port,
     ).start_background()
     print(f"coordinator listening on {server.address}", flush=True)
@@ -384,6 +413,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"{len(workers)} local worker(s) started", flush=True)
     if store is not None:
         print(f"serving guarantees from store {args.store}", flush=True)
+    if args.journal:
+        print(
+            f"journaling jobs to {args.journal}"
+            f" (boot epoch {server.coordinator.epoch})",
+            flush=True,
+        )
     try:
         while True:
             time.sleep(0.5)
@@ -532,6 +567,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--max-shards", type=int, metavar="N",
         help="exit after serving N shards (default: run until stopped)",
     )
+    p_worker.add_argument(
+        "--reconnect-attempts", type=int, default=10, metavar="N",
+        help="reconnect/re-register attempts before giving up on an"
+             " unreachable coordinator; 0 disables reconnection"
+             " (default 10)",
+    )
     p_worker.set_defaults(fn=_cmd_worker)
 
     p_serve = sub.add_parser(
@@ -556,6 +597,26 @@ def _build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--store", metavar="PATH",
         help="serve /guarantee hits from (and bank misses to) this store",
+    )
+    p_serve.add_argument(
+        "--journal", metavar="PATH",
+        help="persist jobs/results to this sqlite journal; a restarted"
+             " coordinator replays it and resumes in-flight sweeps",
+    )
+    p_serve.add_argument(
+        "--max-inflight", type=int, default=64, metavar="N",
+        help="bound on distinct in-flight /guarantee jobs; excess"
+             " misses are shed with 429 (default 64)",
+    )
+    p_serve.add_argument(
+        "--breaker-threshold", type=int, default=5, metavar="N",
+        help="consecutive coordinator failures that open the"
+             " front-end's circuit breaker (default 5)",
+    )
+    p_serve.add_argument(
+        "--breaker-cooldown", type=float, default=5.0, metavar="SECONDS",
+        help="seconds the open breaker waits before probing the"
+             " coordinator again (default 5)",
     )
     p_serve.set_defaults(fn=_cmd_serve)
 

@@ -169,15 +169,34 @@ class TestWire:
             b.close()
 
     def test_frame_size_guards(self, monkeypatch):
+        from repro.service.wire import FrameTooLarge
+
         monkeypatch.setattr(wire, "MAX_FRAME", 16)
         a, b = socket.socketpair()
         try:
-            with pytest.raises(WireError, match="MAX_FRAME"):
+            with pytest.raises(FrameTooLarge, match="MAX_FRAME"):
                 wire.send_message(a, {"pad": "x" * 64})
             # A lying length prefix must not trigger a huge allocation.
-            a.sendall(wire._HEADER.pack(10_000))
-            with pytest.raises(WireError, match="MAX_FRAME"):
+            a.sendall(wire._HEADER.pack(10_000, 0))
+            with pytest.raises(FrameTooLarge, match="MAX_FRAME"):
                 wire.recv_message(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_corrupt_frame_raises_typed_retryable_error(self):
+        from repro.service.wire import FrameCorrupted
+
+        a, b = socket.socketpair()
+        try:
+            data = bytearray(wire.frame({"type": "ping"}))
+            data[-1] ^= 0xFF  # flip one payload byte
+            a.sendall(bytes(data))
+            with pytest.raises(FrameCorrupted, match="CRC32"):
+                wire.recv_message(b)
+            # FrameCorrupted is a transport error (retryable), never an
+            # application rejection.
+            assert issubclass(FrameCorrupted, ConnectionError)
         finally:
             a.close()
             b.close()
@@ -238,7 +257,14 @@ def _register(coord, name="w"):
         }
     )
     assert reply["type"] == "welcome"
+    assert reply["epoch"] == coord.epoch
     return reply["worker"]
+
+
+def _handle(coord, message):
+    """Drive one worker-side message with the current epoch stamped,
+    as a live (post-welcome) worker would send it."""
+    return coord.handle({"epoch": coord.epoch, **message})
 
 
 class TestCoordinator:
@@ -266,7 +292,7 @@ class TestCoordinator:
         job = coord.submit(
             {"enc": "x"}, [{"p": i} for i in range(4)], shard_size=2
         )
-        shard = coord.handle({"type": "lease", "worker": worker})
+        shard = _handle(coord, {"type": "lease", "worker": worker})
         assert shard["type"] == "shard"
         assert (shard["start"], shard["stop"]) == (0, 2)
         assert shard["points"] == [{"p": 0}, {"p": 1}]
@@ -275,14 +301,15 @@ class TestCoordinator:
             "lease": shard["lease"], "start": 0, "stop": 2,
             "results": ["first-0", "first-1"],
         }
-        assert coord.handle(post)["type"] == "ok"
+        assert _handle(coord, post)["type"] == "ok"
         # A reassigned twin completing late must not clobber the merge.
-        coord.handle({**post, "results": ["second-0", "second-1"]})
+        _handle(coord, {**post, "results": ["second-0", "second-1"]})
         snapshot = coord.collect(job)
         assert snapshot["results"]["0"] == "first-0"
         assert snapshot["status"] == "queued"  # second shard untouched
-        shard2 = coord.handle({"type": "lease", "worker": worker})
-        coord.handle(
+        shard2 = _handle(coord, {"type": "lease", "worker": worker})
+        _handle(
+            coord,
             {
                 "type": "result", "worker": worker, "job": job,
                 "lease": shard2["lease"], "start": 2, "stop": 4,
@@ -309,7 +336,7 @@ class TestCoordinator:
         coord = Coordinator(salt="s", heartbeat=0.1, quarantine_strikes=2)
         worker = _register(coord)
         job_id = coord.submit({"enc": "x"}, [{"p": i} for i in range(4)], shard_size=4)
-        lease = coord.handle({"type": "lease", "worker": worker})
+        lease = _handle(coord, {"type": "lease", "worker": worker})
         assert (lease["start"], lease["stop"]) == (0, 4)
         # Silence past the liveness cutoff: the range is bisected.
         assert coord.reap(now=time.time() + 60.0) == 1
@@ -321,7 +348,7 @@ class TestCoordinator:
             if job.done:
                 break
             w = _register(coord)
-            granted = coord.handle({"type": "lease", "worker": w})
+            granted = _handle(coord, {"type": "lease", "worker": w})
             if granted["type"] != "shard":
                 break
             coord.reap(now=time.time() + 60.0)
@@ -339,7 +366,7 @@ class TestCoordinator:
             {"enc": "x"}, [{"p": 0}, {"p": 1}], shard_size=2,
             point_budget=0.2,
         )
-        coord.handle({"type": "lease", "worker": worker})
+        _handle(coord, {"type": "lease", "worker": worker})
         assert coord.reap(now=time.time() + 0.1) == 0  # within budget
         assert coord.reap(now=time.time() + 60.0) == 1
         job = coord.jobs[job_id]
@@ -348,7 +375,7 @@ class TestCoordinator:
         for _ in range(8):
             if job.done:
                 break
-            granted = coord.handle({"type": "lease", "worker": worker})
+            granted = _handle(coord, {"type": "lease", "worker": worker})
             if granted["type"] != "shard":
                 break
             coord.reap(now=time.time() + 60.0)
@@ -362,8 +389,9 @@ class TestCoordinator:
         coord = Coordinator(salt="s")
         worker = _register(coord)
         job = coord.submit({"enc": "x"}, [{"p": i} for i in range(4)], shard_size=1)
-        shard = coord.handle({"type": "lease", "worker": worker})
-        coord.handle(
+        shard = _handle(coord, {"type": "lease", "worker": worker})
+        _handle(
+            coord,
             {
                 "type": "result", "worker": worker, "job": job,
                 "lease": shard["lease"], "start": shard["start"],
@@ -373,7 +401,7 @@ class TestCoordinator:
         snapshot = coord.cancel(job)
         assert snapshot["status"] == "cancelled"
         assert snapshot["results"] == {"0": "kept"}
-        assert coord.handle({"type": "lease", "worker": worker})["type"] == "idle"
+        assert _handle(coord, {"type": "lease", "worker": worker})["type"] == "idle"
 
     def test_kill_directive_and_unknown_worker(self):
         coord = Coordinator(salt="s")
@@ -381,13 +409,16 @@ class TestCoordinator:
         assert coord.handle({"type": "kill", "worker": "any"}) == {
             "type": "ok", "worker": worker,
         }
-        order = coord.handle({"type": "heartbeat", "worker": worker})
+        order = _handle(coord, {"type": "heartbeat", "worker": worker})
         assert order["type"] == "die"
         # No live worker left to kill now.
         assert coord.handle({"type": "kill", "worker": "any"})["type"] == "error"
-        # A worker the coordinator has never seen is told to re-register.
-        lost = coord.handle({"type": "heartbeat", "worker": "w999"})
-        assert lost["type"] == "die" and "re-register" in lost["reason"]
+        # A worker the coordinator has never seen is told to re-register
+        # (it may simply predate a coordinator restart).
+        lost = _handle(coord, {"type": "heartbeat", "worker": "w999"})
+        assert lost["type"] == "reregister"
+        assert "re-register" in lost["reason"]
+        assert lost["epoch"] == coord.epoch
 
     def test_stats_shape(self):
         coord = Coordinator(salt="s")
